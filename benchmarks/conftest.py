@@ -1,0 +1,23 @@
+"""Shared helpers for the figure-regeneration benchmark harness.
+
+Each benchmark file regenerates one of the paper's tables/figures. The
+pytest-benchmark timing measures the *simulator's* wall-clock cost; the
+reproduced scientific numbers are attached as ``extra_info`` and printed,
+so ``pytest benchmarks/ --benchmark-only`` emits every row the paper
+reports.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run `fn` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    def _run(fn):
+        return run_once(benchmark, fn)
+
+    return _run

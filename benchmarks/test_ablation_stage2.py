@@ -1,0 +1,56 @@
+"""Ablation A2 — stage-2 mapping granularity.
+
+The RandomAccess penalty under Hafnium comes from two-stage translation
+of a TLB-thrashing working set (paper Section V-b). With 2 MiB stage-2
+blocks the combined TLB granule stays large, the working set fits the
+TLB reach, and the penalty (nearly) vanishes — quantifying how much of
+the paper's measured overhead is a stage-2 configuration choice.
+"""
+
+import pytest
+
+from repro.core.configs import CONFIG_HAFNIUM_KITTEN, build_node
+from repro.hw.mmu import BLOCK_2M, PAGE_4K
+from repro.workloads import RandomAccessBenchmark
+from repro.workloads.base import WorkloadRun
+
+
+def run_gups(stage2_block=None, config=CONFIG_HAFNIUM_KITTEN, seed=17):
+    kwargs = {} if stage2_block is None else {"stage2_block": stage2_block}
+    if config == "native":
+        from repro.core.configs import build_native_node
+
+        node = build_native_node(seed=seed)
+    else:
+        node = build_node(config, seed=seed, **kwargs)
+    w = RandomAccessBenchmark()
+    WorkloadRun(node, w)
+    return w.metric()
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "native": run_gups(config="native"),
+        "s2-4k": run_gups(PAGE_4K),
+        "s2-2m": run_gups(BLOCK_2M),
+    }
+
+
+def test_ablation_stage2_granularity(bench_once, results):
+    got = bench_once(lambda: results)
+    print()
+    print("Ablation A2 — stage-2 block size (Kitten scheduler, RandomAccess)")
+    for name, gups in got.items():
+        print(f"  {name:8s} {gups:.6f} GUP/s ({gups / got['native']:.4f} of native)")
+
+
+def test_4k_stage2_pays_translation_penalty(results):
+    assert results["s2-4k"] / results["native"] < 0.97
+
+
+def test_2m_stage2_recovers_most_of_it(results):
+    ratio_2m = results["s2-2m"] / results["native"]
+    ratio_4k = results["s2-4k"] / results["native"]
+    assert ratio_2m > ratio_4k
+    assert ratio_2m > 0.98  # within 2% of native

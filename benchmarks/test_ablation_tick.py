@@ -1,0 +1,58 @@
+"""Ablation A1 — primary-VM tick rate sweep.
+
+The paper attributes much of Linux's overhead to its tick rate ("the
+increased number of timer interrupts", Section V-b). This ablation holds
+the Linux scheduler fixed and sweeps its HZ: detour rate should scale
+with HZ and RandomAccess throughput should fall monotonically.
+"""
+
+import pytest
+
+from repro.core.configs import CONFIG_HAFNIUM_LINUX, build_node
+from repro.core.experiments import run_selfish_profiles
+from repro.workloads import RandomAccessBenchmark
+from repro.workloads.base import WorkloadRun
+
+TICK_RATES = [10.0, 100.0, 250.0, 1000.0]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for hz in TICK_RATES:
+        node = build_node(
+            CONFIG_HAFNIUM_LINUX, seed=13, primary_tick_hz=hz, noise_specs=[]
+        )
+        w = RandomAccessBenchmark()
+        WorkloadRun(node, w)
+        profile = run_selfish_profiles(
+            duration_s=0.5,
+            seed=13,
+            configs=[CONFIG_HAFNIUM_LINUX],
+            node_kwargs={"primary_tick_hz": hz, "noise_specs": []},
+        )[CONFIG_HAFNIUM_LINUX]
+        results[hz] = {"gups": w.metric(), "detour_rate": profile.summary["rate_hz"]}
+    return results
+
+
+def test_ablation_tick_sweep(bench_once, sweep):
+    got = bench_once(lambda: sweep)
+    print()
+    print("Ablation A1 — Linux primary tick rate (background threads off)")
+    print(f"{'HZ':>8s}{'GUP/s':>12s}{'detours/s':>12s}")
+    for hz in TICK_RATES:
+        print(f"{hz:>8.0f}{got[hz]['gups']:>12.6f}{got[hz]['detour_rate']:>12.1f}")
+
+
+def test_detour_rate_tracks_tick_rate(sweep):
+    rates = [sweep[hz]["detour_rate"] for hz in TICK_RATES]
+    assert rates == sorted(rates)
+    # At 1000 Hz the guest sees on the order of 1000 detours/s.
+    assert sweep[1000.0]["detour_rate"] > 500
+
+
+def test_gups_monotonically_degrades_with_hz(sweep):
+    gups = [sweep[hz]["gups"] for hz in TICK_RATES]
+    assert gups == sorted(gups, reverse=True)
+    # 10 Hz Linux approaches Kitten-scheduler performance.
+    assert sweep[10.0]["gups"] / sweep[1000.0]["gups"] > 1.02

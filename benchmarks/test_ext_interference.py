@@ -1,0 +1,54 @@
+"""Extension E2 — multi-workload performance isolation (paper Section VII).
+
+"We intend to not only study the scalability but also the performance
+isolation capabilities of our approach when multiple workloads are hosted
+on the same compute node." Two tenant VMs share all four cores; tenant-a
+runs a benchmark while tenant-b spins. The fair share is ~0.5; how close a
+scheduler gets for a synchronization-heavy workload (LU) measures its
+gang-coherence: Kitten's synchronized round-robin keeps the LU gang
+co-scheduled, Linux's per-core vruntime scheduling scatters it.
+"""
+
+import pytest
+
+from repro.core.experiments import run_interference
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for sched in ("kitten", "linux"):
+        for bench in ("ep", "lu"):
+            alone = run_interference(
+                scheduler=sched, benchmark=bench, with_neighbor=False, seed=37
+            )
+            shared = run_interference(
+                scheduler=sched, benchmark=bench, with_neighbor=True, seed=37
+            )
+            out[(sched, bench)] = shared["metric"] / alone["metric"]
+    return out
+
+
+def test_ext_interference(bench_once, results):
+    got = bench_once(lambda: results)
+    print()
+    print("Extension — co-located tenant throughput (fraction of solo run)")
+    print(f"{'scheduler':>10s}{'EP':>8s}{'LU':>8s}")
+    for sched in ("kitten", "linux"):
+        print(
+            f"{sched:>10s}{got[(sched, 'ep')]:>8.3f}{got[(sched, 'lu')]:>8.3f}"
+        )
+    print("  (fair share = 0.5; higher = better isolation)")
+
+
+def test_ep_gets_fair_share_under_both(results):
+    for sched in ("kitten", "linux"):
+        assert 0.40 < results[(sched, "ep")] < 0.55, sched
+
+
+def test_kitten_preserves_lu_gang_far_better(results):
+    """The headline isolation result: synchronization-heavy work keeps
+    ~its fair share under Kitten but collapses under CFS."""
+    assert results[("kitten", "lu")] > 0.43
+    assert results[("linux", "lu")] < 0.40
+    assert results[("kitten", "lu")] > 1.3 * results[("linux", "lu")]

@@ -1,0 +1,69 @@
+"""Extension E3 — TrustZone secure-world placement overhead.
+
+The paper's architecture supports placing the compute VM in the TrustZone
+secure world (Section II-b), adding an EL3 world switch to every VM
+entry/exit. The claim under test is the paper's conclusion: "security
+based approaches do not intrinsically impose significant performance
+overheads" — the secure-world tax should be fractions of a percent for
+HPC workloads under the Kitten scheduler (whose exit rate is tiny).
+"""
+
+import pytest
+
+from repro.common.units import MiB
+from repro.core.configs import CONFIG_HAFNIUM_KITTEN, CONFIG_HAFNIUM_LINUX, build_node
+from repro.workloads import RandomAccessBenchmark, make_npb
+from repro.workloads.base import WorkloadRun
+
+
+def run(config, factory, secure, seed=41):
+    node = build_node(config, seed=seed, secure_compute_vm=secure)
+    w = factory()
+    WorkloadRun(node, w)
+    return w.metric()
+
+
+@pytest.fixture(scope="module")
+def results():
+    gups = lambda: RandomAccessBenchmark(table_bytes=32 * MiB, updates_per_entry=1.0)
+    out = {}
+    for config in (CONFIG_HAFNIUM_KITTEN, CONFIG_HAFNIUM_LINUX):
+        for secure in (False, True):
+            out[(config, "gups", secure)] = run(config, gups, secure)
+            out[(config, "ep", secure)] = run(config, lambda: make_npb("ep"), secure)
+    return out
+
+
+def test_ext_trustzone_overhead(bench_once, results):
+    got = bench_once(lambda: results)
+    print()
+    print("Extension — secure-world (TrustZone) placement overhead")
+    print(f"{'config':>16s}{'bench':>7s}{'normal':>12s}{'secure':>12s}{'ratio':>8s}")
+    for config in (CONFIG_HAFNIUM_KITTEN, CONFIG_HAFNIUM_LINUX):
+        for bench in ("gups", "ep"):
+            ns = got[(config, bench, False)]
+            s = got[(config, bench, True)]
+            print(f"{config:>16s}{bench:>7s}{ns:>12.5g}{s:>12.5g}{s / ns:>8.4f}")
+
+
+def test_secure_world_tax_is_small_under_kitten(results):
+    for bench in ("gups", "ep"):
+        ratio = (
+            results[(CONFIG_HAFNIUM_KITTEN, bench, True)]
+            / results[(CONFIG_HAFNIUM_KITTEN, bench, False)]
+        )
+        assert ratio > 0.99, bench
+
+
+def test_secure_world_tax_grows_with_exit_rate(results):
+    """Linux's 250 Hz exit rate pays the world switch ~25x more often, so
+    its secure-world tax is visibly larger than Kitten's."""
+    kitten_tax = 1 - (
+        results[(CONFIG_HAFNIUM_KITTEN, "gups", True)]
+        / results[(CONFIG_HAFNIUM_KITTEN, "gups", False)]
+    )
+    linux_tax = 1 - (
+        results[(CONFIG_HAFNIUM_LINUX, "gups", True)]
+        / results[(CONFIG_HAFNIUM_LINUX, "gups", False)]
+    )
+    assert linux_tax > kitten_tax

@@ -1,0 +1,53 @@
+"""Figures 7/8 — HPCG, STREAM, RandomAccess across the three configs.
+
+Regenerates both the raw table (Figure 8) and the normalized one
+(Figure 7), printed with the paper's values alongside, and asserts the
+paper's shape: RandomAccess degrades under virtualization and most under
+the Linux scheduler; STREAM and HPCG are statistically flat.
+"""
+
+import pytest
+
+from repro.core.experiments import PAPER_FIG8, paper_normalized, run_fig7_fig8
+from repro.core.metrics import within_noise
+from repro.core.report import render_normalized_table, render_raw_table
+
+TRIALS = 3
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return run_fig7_fig8(trials=TRIALS, seed=5)
+
+
+def test_fig7_fig8_memory_suite(bench_once, tables):
+    got = bench_once(lambda: tables)
+    print()
+    print(render_raw_table(got, "Figure 8 (reproduced)", paper=PAPER_FIG8))
+    print()
+    print(render_normalized_table(got, "Figure 7 (reproduced)", paper=PAPER_FIG8))
+
+
+def test_randomaccess_ordering_matches_paper(tables):
+    norm = tables["randomaccess"].normalized
+    paper = paper_normalized(PAPER_FIG8, "randomaccess")
+    # Ordering: native > kitten > linux.
+    assert norm["native"] > norm["hafnium-kitten"] > norm["hafnium-linux"]
+    # Magnitudes within 2 points of the paper's ratios.
+    assert norm["hafnium-kitten"] == pytest.approx(paper["hafnium-kitten"], abs=0.02)
+    assert norm["hafnium-linux"] == pytest.approx(paper["hafnium-linux"], abs=0.02)
+
+
+def test_stream_not_significant(tables):
+    aggs = tables["stream"].aggregates
+    # Paper: "the mean performance of each configuration falls within the
+    # standard deviation, so the performance differences are not
+    # statistically significant." Allow a few sigma of slack.
+    assert within_noise(aggs["native"], aggs["hafnium-kitten"], sigmas=4)
+    assert within_noise(aggs["native"], aggs["hafnium-linux"], sigmas=4)
+
+
+def test_hpcg_nearly_flat(tables):
+    norm = tables["hpcg"].normalized
+    assert norm["hafnium-kitten"] > 0.98
+    assert norm["hafnium-linux"] > 0.97

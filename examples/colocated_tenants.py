@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Co-located tenants: the paper's Section VII isolation question, live.
+
+Two tenant VMs share all four cores; tenant-a runs the sync-heavy LU
+benchmark while tenant-b spins. The primary's scheduler decides who runs
+when — and the execution timeline (reconstructed from the scheduler
+trace) shows *why* Kitten preserves LU's gang while CFS scatters it.
+
+Run:  python examples/colocated_tenants.py
+"""
+
+from repro.core.configs import build_interference_node
+from repro.core.experiments import run_interference
+from repro.core.node import run_until_done
+from repro.core.timeline import Timeline
+from repro.workloads import make_npb
+
+
+def show_timeline(scheduler: str) -> None:
+    node = build_interference_node(scheduler=scheduler, seed=88)
+    lu = make_npb("lu")
+    threads = lu.make_threads(node.engine)
+    for t in threads:
+        node.kernels["tenant-a"].spawn(t)
+    from repro.kernels.phases import ComputePhase
+    from repro.kernels.thread import Thread
+
+    soc = node.machine.soc
+    for c in range(soc.num_cores):
+        node.kernels["tenant-b"].spawn(
+            Thread(
+                f"hog{c}",
+                iter([ComputePhase(60.0 * soc.ipc * soc.freq_hz)]),
+                cpu=c,
+                aspace="hog",
+            )
+        )
+    run_until_done(node, threads, max_seconds=240.0)
+    tl = Timeline.from_tracer(
+        node.machine.tracer, kernel=f"{scheduler}-primary"
+    )
+    print(f"\n== {scheduler} primary: who ran on each core ==")
+    print(tl.render(width=68))
+    cpu0 = f"{scheduler}-primary.cpu0"
+    print(
+        f"  core 0: {tl.switch_count(cpu0)} switches, "
+        f"tenant-a share {tl.share(cpu0, 'vcpu.tenant-a'):.2f}, "
+        f"LU finished in {lu.elapsed_s:.2f} s "
+        f"({lu.metric():.2f} Mop/s)"
+    )
+
+
+def main() -> None:
+    print("co-located throughput retention (fraction of solo; fair = 0.5):")
+    for sched in ("kitten", "linux"):
+        alone = run_interference(
+            scheduler=sched, benchmark="lu", with_neighbor=False, seed=88
+        )
+        shared = run_interference(
+            scheduler=sched, benchmark="lu", with_neighbor=True, seed=88
+        )
+        print(
+            f"  {sched:>8s}: LU {shared['metric'] / alone['metric']:.3f} "
+            f"({alone['metric']:.2f} -> {shared['metric']:.2f} Mop/s)"
+        )
+    for sched in ("kitten", "linux"):
+        show_timeline(sched)
+    print(
+        "\nKitten's synchronized 100 ms round-robin keeps all four LU ranks"
+        "\nco-scheduled (long matching stripes); CFS's per-core vruntime"
+        "\nscheduling interleaves tenants independently, so LU's wavefront"
+        "\nbarriers keep waiting for off-core ranks."
+    )
+
+
+if __name__ == "__main__":
+    main()

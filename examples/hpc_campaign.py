@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Full evaluation campaign: regenerate Figures 7, 8, 9, 10.
+
+Runs HPCG/STREAM/RandomAccess and the NPB subset across all three
+configurations with multiple trials, then prints the raw tables (Figures
+8/10) and the normalized tables (Figures 7/9) side by side with the
+paper's reported numbers.
+
+This is the long-running example (~2-4 minutes).
+
+Run:  python examples/hpc_campaign.py [--trials N]
+"""
+
+import argparse
+
+from repro.core.experiments import (
+    PAPER_FIG8,
+    PAPER_FIG10,
+    run_fig7_fig8,
+    run_fig9_fig10,
+)
+from repro.core.report import render_normalized_table, render_raw_table
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--trials", type=int, default=3)
+    args = ap.parse_args()
+
+    print("running HPCG / STREAM / RandomAccess ...")
+    mem = run_fig7_fig8(trials=args.trials)
+    print()
+    print(render_raw_table(
+        mem,
+        "Figure 8 — HPCG, Stream, RandomAccess (raw; mean over trials)",
+        paper=PAPER_FIG8,
+    ))
+    print()
+    print(render_normalized_table(
+        mem, "Figure 7 — normalized to Native", paper=PAPER_FIG8
+    ))
+
+    print("\nrunning NPB LU/BT/CG/EP/SP ...")
+    npb = run_fig9_fig10(trials=args.trials)
+    print()
+    print(render_raw_table(
+        npb, "Figure 10 — NAS Parallel Benchmarks (Mop/s)", paper=PAPER_FIG10
+    ))
+    print()
+    print(render_normalized_table(
+        npb, "Figure 9 — normalized to Native", paper=PAPER_FIG10
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Noise study: reproduce Figures 4, 5, 6 (selfish-detour profiles).
+
+Runs the selfish-detour benchmark in all three configurations and prints
+ASCII scatter plots of the detour latencies over time, plus the summary
+statistics that tell the paper's story: native Kitten and the
+Kitten-scheduled VM show sparse periodic detours; the Linux-scheduled VM
+shows frequent, randomly distributed ones.
+
+Run:  python examples/noise_study.py
+"""
+
+from repro.core.experiments import run_selfish_profiles
+from repro.core.report import render_selfish
+
+
+def main() -> None:
+    profiles = run_selfish_profiles(duration_s=1.0, threshold_us=1.0, seed=42)
+    for config, profile in profiles.items():
+        print(render_selfish(profile))
+        print()
+    print("Interpretation (paper Section V-a):")
+    native = profiles["native"].summary
+    kitten = profiles["hafnium-kitten"].summary
+    linux = profiles["hafnium-linux"].summary
+    print(
+        f"  native detour rate {native['rate_hz']:.0f}/s vs Kitten-VM "
+        f"{kitten['rate_hz']:.0f}/s: virtualization adds ~one source "
+        f"(the primary's tick) with slightly larger latencies "
+        f"({native['mean_latency_us']:.1f} -> {kitten['mean_latency_us']:.1f} us)."
+    )
+    print(
+        f"  Linux-VM detour rate {linux['rate_hz']:.0f}/s with CV "
+        f"{profiles['hafnium-linux'].interarrival_cv:.2f}: more frequent and "
+        f"more randomly distributed (ticks + background threads)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's figures/tables and run the extension
+experiments without writing any Python:
+
+    python -m repro selfish                 # Figures 4/5/6
+    python -m repro memory   --trials 3     # Figures 7/8
+    python -m repro npb      --trials 2     # Figures 9/10
+    python -m repro irq-routing             # selective-routing extension
+    python -m repro interference            # co-location extension
+    python -m repro boot                    # show the measured boot chain
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_selfish(args) -> int:
+    from repro.core.experiments import run_selfish_profiles
+    from repro.core.report import render_selfish
+
+    profiles = run_selfish_profiles(
+        duration_s=args.duration, threshold_us=args.threshold_us, seed=args.seed
+    )
+    for profile in profiles.values():
+        print(render_selfish(profile))
+        print()
+    return 0
+
+
+def _cmd_memory(args) -> int:
+    from repro.core.experiments import PAPER_FIG8, run_fig7_fig8
+    from repro.core.report import render_normalized_table, render_raw_table
+
+    tables = run_fig7_fig8(trials=args.trials, seed=args.seed)
+    print(render_raw_table(tables, "Figure 8 (reproduced)", paper=PAPER_FIG8))
+    print()
+    print(render_normalized_table(tables, "Figure 7 (reproduced)", paper=PAPER_FIG8))
+    return 0
+
+
+def _cmd_npb(args) -> int:
+    from repro.core.experiments import PAPER_FIG10, run_fig9_fig10
+    from repro.core.report import render_normalized_table, render_raw_table
+
+    tables = run_fig9_fig10(trials=args.trials, seed=args.seed)
+    print(render_raw_table(tables, "Figure 10 (reproduced)", paper=PAPER_FIG10))
+    print()
+    print(render_normalized_table(tables, "Figure 9 (reproduced)", paper=PAPER_FIG10))
+    return 0
+
+
+def _cmd_irq_routing(args) -> int:
+    from repro.core.experiments import run_irq_latency
+
+    print("device-IRQ delivery latency into the Login VM:")
+    for mode in ("forwarded", "direct"):
+        r = run_irq_latency(routing=mode, duration_s=args.duration, seed=args.seed)
+        print(
+            f"  {mode:>10s}: mean {r['mean_us']:.2f} us, max {r['max_us']:.2f} us "
+            f"over {int(r['n'])} interrupts"
+        )
+    return 0
+
+
+def _cmd_interference(args) -> int:
+    from repro.core.experiments import run_interference
+
+    print("co-located tenant throughput (fraction of solo run; fair share 0.5):")
+    for sched in ("kitten", "linux"):
+        row = [f"  {sched:>8s}:"]
+        for bench in ("ep", "lu"):
+            alone = run_interference(
+                scheduler=sched, benchmark=bench, with_neighbor=False, seed=args.seed
+            )
+            shared = run_interference(
+                scheduler=sched, benchmark=bench, with_neighbor=True, seed=args.seed
+            )
+            row.append(f"{bench}={shared['metric'] / alone['metric']:.3f}")
+        print(" ".join(row))
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.core.campaign import run_campaign, save_campaign, summarize
+
+    results = run_campaign(
+        seed=args.seed,
+        trials=args.trials,
+        include_extensions=not args.no_extensions,
+    )
+    if args.output:
+        save_campaign(results, args.output)
+        print(f"wrote {args.output}")
+    print(summarize(results))
+    return 0
+
+
+def _cmd_boot(args) -> int:
+    from repro.core.configs import build_node, CONFIG_HAFNIUM_KITTEN
+
+    node = build_node(CONFIG_HAFNIUM_KITTEN, seed=args.seed)
+    chain = node.boot_chain
+    print("measured boot chain:")
+    for stage in chain.stages:
+        print(f"  EL{stage.el}  {stage.name:10s} {stage.measurement[:32]}...")
+    print(f"attestation quote: {chain.log.quote()}")
+    print("partitions:")
+    for vm in node.spm.vms.values():
+        print(
+            f"  VM {vm.vm_id} {vm.name:10s} {vm.role.value:15s} "
+            f"{len(vm.vcpus)} vcpus  {vm.memory.size // 2**20:5d} MiB"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's figures and run extension experiments.",
+    )
+    parser.add_argument("--seed", type=int, default=0xC0FFEE)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("selfish", help="Figures 4/5/6 (selfish-detour)")
+    p.add_argument("--duration", type=float, default=1.0)
+    p.add_argument("--threshold-us", type=float, default=1.0)
+    p.set_defaults(fn=_cmd_selfish)
+
+    p = sub.add_parser("memory", help="Figures 7/8 (HPCG/STREAM/RandomAccess)")
+    p.add_argument("--trials", type=int, default=3)
+    p.set_defaults(fn=_cmd_memory)
+
+    p = sub.add_parser("npb", help="Figures 9/10 (NAS parallel benchmarks)")
+    p.add_argument("--trials", type=int, default=2)
+    p.set_defaults(fn=_cmd_npb)
+
+    p = sub.add_parser("irq-routing", help="selective-routing extension")
+    p.add_argument("--duration", type=float, default=1.0)
+    p.set_defaults(fn=_cmd_irq_routing)
+
+    p = sub.add_parser("interference", help="co-location isolation extension")
+    p.set_defaults(fn=_cmd_interference)
+
+    p = sub.add_parser("boot", help="show the measured boot chain")
+    p.set_defaults(fn=_cmd_boot)
+
+    p = sub.add_parser(
+        "campaign", help="run everything; optionally write a results JSON"
+    )
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--output", "-o", type=str, default="")
+    p.add_argument("--no-extensions", action="store_true")
+    p.set_defaults(fn=_cmd_campaign)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency in the discrete-event engine or a model."""
+
+
+class ConfigurationError(ReproError):
+    """A platform/VM/workload configuration is invalid."""
+
+
+class HardwareFault(ReproError):
+    """A modeled hardware fault (bus error, translation abort, ...).
+
+    Carries enough context for the fault handler (OS or hypervisor) to
+    classify the fault the way real ARM syndrome registers would.
+    """
+
+    def __init__(self, message: str, *, address: int = 0, fault_type: str = "unknown"):
+        super().__init__(message)
+        self.address = address
+        self.fault_type = fault_type
+
+
+class SecurityViolation(ReproError):
+    """An access or operation that the isolation model forbids.
+
+    Raised by the TrustZone address-space controller, the stage-2
+    enforcement layer, and the hypercall privilege checks. Tests assert on
+    this type to verify isolation properties.
+    """
+
+    def __init__(self, message: str, *, subject: str = "?", operation: str = "?"):
+        super().__init__(message)
+        self.subject = subject
+        self.operation = operation

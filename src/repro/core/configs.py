@@ -1,0 +1,287 @@
+"""Builders for the paper's three evaluated configurations (Section V):
+
+* ``native`` — benchmark on bare-metal Kitten (Figure 4 baseline);
+* ``hafnium-kitten`` — benchmark in a Kitten secondary VM, **Kitten** as
+  the primary scheduler VM (Figure 5; the paper's proposed system);
+* ``hafnium-linux`` — benchmark in a Kitten secondary VM, **Linux** as the
+  primary scheduler VM (Figure 6; Hafnium's default architecture).
+
+Both Hafnium configurations can optionally host the paper's
+super-secondary "Login VM" (Section III-b) running the Linux model with
+the I/O devices assigned to it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngHub
+from repro.common.units import MiB
+from repro.core.node import Node
+from repro.hafnium.manifest import Manifest, PartitionSpec, VmRole
+from repro.hafnium.spm import Spm
+from repro.hw.machine import Machine
+from repro.hw.mmu import PAGE_4K
+from repro.hw.perfmodel import CostParams
+from repro.hw.soc import PINE_A64, SoCConfig
+from repro.kernels.base import ROLE_NATIVE
+from repro.kitten.control import ControlTask, JobSpec
+from repro.kitten.kernel import KittenKernel
+from repro.linuxk.driver import HafniumDriver
+from repro.linuxk.kernel import LinuxKernel
+from repro.linuxk.kthreads import BackgroundPopulation
+from repro.tee.boot import BootChain
+from repro.sim.trace import Tracer
+
+ConfigName = str
+
+CONFIG_NATIVE: ConfigName = "native"
+CONFIG_HAFNIUM_KITTEN: ConfigName = "hafnium-kitten"
+CONFIG_HAFNIUM_LINUX: ConfigName = "hafnium-linux"
+ALL_CONFIGS = (CONFIG_NATIVE, CONFIG_HAFNIUM_KITTEN, CONFIG_HAFNIUM_LINUX)
+
+#: Paper-style labels used in the reproduced tables (Figure 8/10 rows).
+PAPER_LABELS = {
+    CONFIG_NATIVE: "Native",
+    CONFIG_HAFNIUM_KITTEN: "Kitten",
+    CONFIG_HAFNIUM_LINUX: "Linux",
+}
+
+COMPUTE_VM_NAME = "compute"
+LOGIN_VM_NAME = "login"
+
+
+def _machine(soc: SoCConfig, seed: int, trial: int, params: Optional[CostParams],
+             trace_categories) -> Machine:
+    return Machine(
+        soc,
+        rng=RngHub(seed, trial=trial),
+        tracer=Tracer(trace_categories),
+        params=params,
+    )
+
+
+def build_native_node(
+    *,
+    soc: SoCConfig = PINE_A64,
+    seed: int = 0xC0FFEE,
+    trial: int = 0,
+    params: Optional[CostParams] = None,
+    trace_categories=None,
+) -> Node:
+    """Bare-metal Kitten (the paper's baseline)."""
+    machine = _machine(soc, seed, trial, params, trace_categories)
+    boot = BootChain(machine)
+    boot.run()
+    kernel = KittenKernel(machine, "kitten-native", role=ROLE_NATIVE)
+    kernel.boot_on_cores()
+    return Node(
+        machine,
+        boot_chain=boot,
+        kernels={"native": kernel},
+        workload_kernel=kernel,
+        config_name=CONFIG_NATIVE,
+    )
+
+
+def build_hafnium_node(
+    *,
+    scheduler: str,
+    soc: SoCConfig = PINE_A64,
+    seed: int = 0xC0FFEE,
+    trial: int = 0,
+    params: Optional[CostParams] = None,
+    with_super_secondary: bool = False,
+    secure_compute_vm: bool = False,
+    compute_vm_mem: int = 768 * MiB,
+    stage2_block: int = PAGE_4K,
+    primary_tick_hz: Optional[float] = None,
+    noise_specs=None,
+    trace_categories=None,
+) -> Node:
+    """A Hafnium node with the chosen primary scheduler VM.
+
+    scheduler="kitten" reproduces the paper's proposed system (the primary
+    is Kitten, launched VMs managed by its control task); "linux"
+    reproduces Hafnium's default architecture (CFS + background threads +
+    the reference device driver).
+    """
+    if scheduler not in ("kitten", "linux"):
+        raise ConfigurationError(f"unknown scheduler {scheduler!r}")
+    machine = _machine(soc, seed, trial, params, trace_categories)
+    boot = BootChain(machine)
+
+    def kitten_guest_factory(mach, spec, role):
+        return KittenKernel(
+            mach, f"kitten-{spec.name}", role=role, num_cpus=spec.vcpus
+        )
+
+    def kitten_primary_factory(mach, spec, role):
+        kwargs = {} if primary_tick_hz is None else {"tick_hz": primary_tick_hz}
+        return KittenKernel(
+            mach, "kitten-primary", role=role, num_cpus=spec.vcpus, **kwargs
+        )
+
+    def linux_primary_factory(mach, spec, role):
+        kwargs = {} if primary_tick_hz is None else {"tick_hz": primary_tick_hz}
+        return LinuxKernel(
+            mach, "linux-primary", role=role, num_cpus=spec.vcpus, **kwargs
+        )
+
+    def linux_login_factory(mach, spec, role):
+        # The login VM runs a deliberately slimmer Linux (no benchmark
+        # noise relevance: it mostly idles awaiting interactive work).
+        return LinuxKernel(mach, "linux-login", role=role, num_cpus=spec.vcpus)
+
+    partitions: List[PartitionSpec] = [
+        PartitionSpec(
+            name="primary",
+            role=VmRole.PRIMARY,
+            vcpus=soc.num_cores,
+            memory_bytes=256 * MiB,
+            kernel_factory=(
+                kitten_primary_factory if scheduler == "kitten" else linux_primary_factory
+            ),
+            image=(b"kitten:primary" if scheduler == "kitten" else b"linux:primary"),
+        ),
+        PartitionSpec(
+            name=COMPUTE_VM_NAME,
+            role=VmRole.SECONDARY,
+            vcpus=soc.num_cores,
+            memory_bytes=compute_vm_mem,
+            kernel_factory=kitten_guest_factory,
+            secure=secure_compute_vm,
+            image=b"kitten:secondary:compute",
+        ),
+    ]
+    if with_super_secondary:
+        partitions.insert(
+            1,
+            PartitionSpec(
+                name=LOGIN_VM_NAME,
+                role=VmRole.SUPER_SECONDARY,
+                vcpus=1,
+                memory_bytes=128 * MiB,
+                kernel_factory=linux_login_factory,
+                image=b"linux:super-secondary:login",
+            ),
+        )
+    manifest = Manifest(partitions)
+    spm = Spm(machine, manifest, stage2_block=stage2_block)
+    # Secure partitions were registered by the SPM; lock happens in boot.
+    boot.run()
+    primary_kernel = spm.boot_primary()
+
+    kernels = {"primary": primary_kernel}
+    compute_vm = spm.vm_by_name(COMPUTE_VM_NAME)
+    kernels[COMPUTE_VM_NAME] = compute_vm.kernel
+    if with_super_secondary:
+        kernels[LOGIN_VM_NAME] = spm.vm_by_name(LOGIN_VM_NAME).kernel
+
+    node = Node(
+        machine,
+        boot_chain=boot,
+        spm=spm,
+        kernels=kernels,
+        workload_kernel=compute_vm.kernel,
+        config_name=(
+            CONFIG_HAFNIUM_KITTEN if scheduler == "kitten" else CONFIG_HAFNIUM_LINUX
+        ),
+    )
+
+    # Bring up the primary's management plane and launch the compute VM
+    # with 1:1 VCPU->core pinning (the evaluation's placement).
+    pinning = list(range(soc.num_cores))
+    if scheduler == "kitten":
+        control = ControlTask(primary_kernel, cpu=0)
+        control.submit(JobSpec("launch", COMPUTE_VM_NAME, vcpu_cpus=pinning))
+        node.control_task = control
+    else:
+        BackgroundPopulation(noise_specs).spawn(primary_kernel)
+        driver = HafniumDriver(primary_kernel)
+        driver.launch_vm(COMPUTE_VM_NAME, vcpu_cpus=pinning)
+        if with_super_secondary:
+            driver.launch_vm(LOGIN_VM_NAME, vcpu_cpus=[0])
+        node.driver = driver
+    # Let boot-time activity settle (control task launches, first ticks).
+    machine.engine.run_until(machine.engine.now + 50_000_000_000)  # 50 ms
+    return node
+
+
+def build_interference_node(
+    *,
+    scheduler: str,
+    soc: SoCConfig = PINE_A64,
+    seed: int = 0xC0FFEE,
+    trial: int = 0,
+    params: Optional[CostParams] = None,
+    vm_a_mem: int = 512 * MiB,
+    vm_b_mem: int = 512 * MiB,
+    trace_categories=None,
+) -> Node:
+    """Two co-located secondary VMs sharing all cores (the paper's
+    Section VII multi-workload scenario): both 'tenant-a' and 'tenant-b'
+    get one VCPU per physical core, so the primary's scheduler arbitrates
+    between the workloads — the performance-isolation stress case."""
+    if scheduler not in ("kitten", "linux"):
+        raise ConfigurationError(f"unknown scheduler {scheduler!r}")
+    machine = _machine(soc, seed, trial, params, trace_categories)
+    boot = BootChain(machine)
+
+    def kitten_guest_factory(mach, spec, role):
+        return KittenKernel(mach, f"kitten-{spec.name}", role=role, num_cpus=spec.vcpus)
+
+    def primary_factory(mach, spec, role):
+        cls = KittenKernel if scheduler == "kitten" else LinuxKernel
+        return cls(mach, f"{scheduler}-primary", role=role, num_cpus=spec.vcpus)
+
+    manifest = Manifest(
+        [
+            PartitionSpec("primary", VmRole.PRIMARY, soc.num_cores, 192 * MiB,
+                          kernel_factory=primary_factory),
+            PartitionSpec("tenant-a", VmRole.SECONDARY, soc.num_cores, vm_a_mem,
+                          kernel_factory=kitten_guest_factory),
+            PartitionSpec("tenant-b", VmRole.SECONDARY, soc.num_cores, vm_b_mem,
+                          kernel_factory=kitten_guest_factory),
+        ]
+    )
+    spm = Spm(machine, manifest)
+    boot.run()
+    primary_kernel = spm.boot_primary()
+    pinning = list(range(soc.num_cores))
+    if scheduler == "kitten":
+        control = ControlTask(primary_kernel, cpu=0)
+        control.submit(JobSpec("launch", "tenant-a", vcpu_cpus=pinning))
+        control.submit(JobSpec("launch", "tenant-b", vcpu_cpus=pinning))
+    else:
+        BackgroundPopulation().spawn(primary_kernel)
+        driver = HafniumDriver(primary_kernel)
+        driver.launch_vm("tenant-a", vcpu_cpus=pinning)
+        driver.launch_vm("tenant-b", vcpu_cpus=pinning)
+    node = Node(
+        machine,
+        boot_chain=boot,
+        spm=spm,
+        kernels={
+            "primary": primary_kernel,
+            "tenant-a": spm.vm_by_name("tenant-a").kernel,
+            "tenant-b": spm.vm_by_name("tenant-b").kernel,
+        },
+        workload_kernel=spm.vm_by_name("tenant-a").kernel,
+        config_name=f"interference-{scheduler}",
+    )
+    machine.engine.run_until(machine.engine.now + 50_000_000_000)
+    return node
+
+
+def build_node(config: ConfigName, **kwargs) -> Node:
+    """Build any of the three evaluated configurations by name."""
+    if config == CONFIG_NATIVE:
+        kwargs.pop("with_super_secondary", None)
+        return build_native_node(**kwargs)
+    if config == CONFIG_HAFNIUM_KITTEN:
+        return build_hafnium_node(scheduler="kitten", **kwargs)
+    if config == CONFIG_HAFNIUM_LINUX:
+        return build_hafnium_node(scheduler="linux", **kwargs)
+    raise ConfigurationError(f"unknown configuration {config!r}")

@@ -1,0 +1,145 @@
+"""Noise-profile analysis (FTQ/selfish-style).
+
+Tools for characterizing detour traces beyond eyeballing scatter plots:
+latency distributions, dominant-period detection (is the noise a periodic
+comb — timer ticks — or a random process — background threads?), and
+noise-power accounting. Used by the noise-study example and by tests that
+check the *structure* of each configuration's noise, not just its rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PeriodEstimate:
+    """A detected periodic component in an event train."""
+
+    period_us: float
+    strength: float      # fraction of interarrivals within tol of the period
+    events_explained: int
+
+
+class NoiseAnalysis:
+    """Analysis over one detour trace (timestamps + latencies in us)."""
+
+    def __init__(
+        self,
+        times_us: Sequence[float],
+        latencies_us: Sequence[float],
+        window_s: float,
+    ):
+        self.times = np.asarray(times_us, dtype=float)
+        self.lats = np.asarray(latencies_us, dtype=float)
+        if len(self.times) != len(self.lats):
+            raise ValueError("times and latencies must align")
+        self.window_s = float(window_s)
+
+    # -- scalar characteristics -------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.times)
+
+    @property
+    def rate_hz(self) -> float:
+        return self.count / self.window_s if self.window_s > 0 else 0.0
+
+    @property
+    def stolen_fraction(self) -> float:
+        """Fraction of the window consumed by detours (noise power)."""
+        return float(self.lats.sum()) * 1e-6 / self.window_s if self.count else 0.0
+
+    def latency_percentiles(self, qs=(50, 90, 99, 100)) -> Dict[int, float]:
+        if self.count == 0:
+            return {q: 0.0 for q in qs}
+        return {q: float(np.percentile(self.lats, q)) for q in qs}
+
+    def interarrivals_us(self) -> np.ndarray:
+        return np.diff(self.times) if self.count >= 2 else np.array([])
+
+    @property
+    def interarrival_cv(self) -> float:
+        gaps = self.interarrivals_us()
+        if len(gaps) < 2 or gaps.mean() == 0:
+            return 0.0
+        return float(gaps.std() / gaps.mean())
+
+    # -- structure -------------------------------------------------------------
+
+    def dominant_period(self, tolerance: float = 0.1) -> Optional[PeriodEstimate]:
+        """Detect a periodic comb: the mode of the interarrival histogram,
+        reported if it explains a meaningful share of the gaps."""
+        gaps = self.interarrivals_us()
+        if len(gaps) < 3:
+            return None
+        # Histogram in log space to find the modal gap scale robustly.
+        logs = np.log10(np.maximum(gaps, 0.1))
+        hist, edges = np.histogram(logs, bins=24)
+        mode_bin = int(hist.argmax())
+        # Epsilon-widen the bin so values sitting exactly on an edge (a
+        # perfectly regular comb) are included.
+        lo = 10 ** (edges[mode_bin] - 1e-9)
+        hi = 10 ** (edges[mode_bin + 1] + 1e-9)
+        modal = gaps[(gaps >= lo) & (gaps <= hi)]
+        if len(modal) == 0:
+            return None
+        period = float(np.median(modal))
+        within = np.abs(gaps - period) <= tolerance * period
+        return PeriodEstimate(
+            period_us=period,
+            strength=float(within.mean()),
+            events_explained=int(within.sum()),
+        )
+
+    def is_periodic(self, min_strength: float = 0.6) -> bool:
+        """True when a single period explains most interarrivals (timer
+        ticks); False for randomly-placed noise (background threads)."""
+        est = self.dominant_period()
+        return est is not None and est.strength >= min_strength
+
+    def latency_histogram(
+        self, bins: int = 16
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(counts, log10-us bin edges) of detour latencies."""
+        if self.count == 0:
+            return np.array([]), np.array([])
+        logs = np.log10(np.maximum(self.lats, 0.1))
+        return np.histogram(logs, bins=bins)
+
+    def summary(self) -> Dict[str, float]:
+        pct = self.latency_percentiles()
+        period = self.dominant_period()
+        return {
+            "count": float(self.count),
+            "rate_hz": self.rate_hz,
+            "stolen_fraction": self.stolen_fraction,
+            "p50_us": pct[50],
+            "p99_us": pct[99],
+            "max_us": pct[100],
+            "interarrival_cv": self.interarrival_cv,
+            "periodic": float(self.is_periodic()),
+            "dominant_period_us": period.period_us if period else 0.0,
+        }
+
+
+def compare_configs(
+    analyses: Dict[str, NoiseAnalysis]
+) -> List[Tuple[str, Dict[str, float]]]:
+    """Side-by-side summaries, ordered by noise power."""
+    rows = [(name, a.summary()) for name, a in analyses.items()]
+    rows.sort(key=lambda r: r[1]["stolen_fraction"])
+    return rows
+
+
+def from_profile(profile) -> NoiseAnalysis:
+    """Build an analysis from a SelfishProfile (core.experiments)."""
+    window_s = (
+        profile.times_us.max() * 1e-6 if len(profile.times_us) else 1.0
+    )
+    # Prefer the true window when the profile carries one.
+    return NoiseAnalysis(profile.times_us, profile.latencies_us, max(window_s, 1e-9))

@@ -1,0 +1,39 @@
+"""The per-VCPU kernel-thread pattern shared by both primary kernels.
+
+Hafnium's reference Linux driver "provides scheduling by creating a Linux
+kernel thread for each VCPU belonging to a particular VM. Each kernel
+thread holds a handle to a single VCPU context ... and so can direct
+Hafnium to context switch to that VCPU instance via a dedicated
+hypercall" (paper Section II-a). Kitten's port uses the identical pattern
+(Section IV-a), so the thread body lives here and both kernels' drivers
+wrap it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.common.errors import SimulationError
+from repro.kernels.thread import Hypercall, WaitEvent
+
+
+def vcpu_thread_body(vm_id: int, vcpu_idx: int) -> Generator:
+    """Drive one VCPU: run it, react to VM exits, repeat.
+
+    * ``interrupt`` / ``yield``: re-enter immediately — by the time the
+      body resumes, the host loop has handled the physical interrupt and
+      any rescheduling it caused.
+    * ``wfi``: the guest CPU is idle; block until the SPM signals work.
+    * ``halt`` / ``abort``: stop driving this VCPU.
+    """
+    while True:
+        exit_info = yield Hypercall("vcpu_run", vm_id=vm_id, vcpu_idx=vcpu_idx)
+        kind = exit_info["reason"]
+        if kind in ("interrupt", "yield"):
+            continue
+        if kind == "wfi":
+            yield WaitEvent(exit_info["wake_signal"], ready=exit_info.get("ready"))
+            continue
+        if kind in ("halt", "abort"):
+            return exit_info
+        raise SimulationError(f"vcpu{vcpu_idx}: unknown exit {kind!r}")

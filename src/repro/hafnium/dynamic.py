@@ -1,0 +1,160 @@
+"""Dynamic partition management (the paper's Section VII proposal).
+
+"Currently, Hafnium requires that secure partitions and VM images be
+defined at boot time. ... To make our approach suitable for a more
+dynamic set of workloads, we need to design appropriate management
+interfaces to allow dynamic memory allocation and reclaiming ... and
+support for launching VM images supplied after the system has booted.
+... Without hardware support, hafnium will require some mechanism of
+verifying VM signatures ... One potential solution would be to leverage
+certificate verification, where Hafnium is able to verify VM signatures
+using a known public key that is included as part of the trusted boot
+sequence."
+
+This module implements exactly that design:
+
+* a memory **pool** reserved at boot (allocated/reclaimed with
+  :class:`~repro.hafnium.pool.PoolAllocator`),
+* ``create_vm``: verify the supplied image's signature against the boot
+  chain's embedded key, allocate a partition, build its stage-2 table,
+  measure the image into the attestation log, instantiate the guest
+  kernel;
+* ``destroy_vm``: halt, unmap, **scrub** (zero) the partition before
+  reclaim so no data leaks to the next tenant;
+* the TrustZone constraint stays honest: dynamically created VMs can be
+  *secure* only if the pool itself was placed in secure memory at boot —
+  the TZASC is locked and cannot be reconfigured at run time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.common.errors import ConfigurationError, SecurityViolation
+from repro.hafnium.mailbox import Mailbox
+from repro.hafnium.manifest import PartitionSpec, VmRole
+from repro.hafnium.stage2 import build_ram_stage2
+from repro.hafnium.vm import VcpuState, Vm
+from repro.hafnium.pool import PoolAllocator
+from repro.hw.memory import MemoryRegion, RegionKind
+from repro.tee.attestation import SignedImage, VerificationKey
+
+
+class DynamicVmManager:
+    """Run-time VM lifecycle on top of a booted SPM."""
+
+    def __init__(
+        self,
+        spm,
+        pool_bytes: int,
+        root_key: VerificationKey,
+        *,
+        secure_pool: bool = False,
+    ):
+        self.spm = spm
+        machine = spm.machine
+        region = machine.dram_alloc.allocate("dynamic-pool", pool_bytes)
+        if secure_pool:
+            if machine.trustzone.locked:
+                raise SecurityViolation(
+                    "cannot create a secure pool after the TZASC is locked",
+                    subject="dynamic-pool",
+                    operation="mark_secure",
+                )
+            machine.trustzone.mark_secure(region.base, region.size)
+        self.pool_region = region
+        self.secure_pool = secure_pool
+        self.pool = PoolAllocator(region.base, region.size)
+        self.root_key = root_key
+        self._next_vm_id = 100  # dynamic IDs live far above the static ones
+        self.created: Dict[str, Vm] = {}
+        self.scrubbed_bytes = 0
+
+    # ------------------------------------------------------------------
+
+    def create_vm(
+        self,
+        image: SignedImage,
+        *,
+        vcpus: int,
+        memory_bytes: int,
+        kernel_factory: Callable,
+        secure: bool = False,
+    ) -> Vm:
+        """Verify, allocate, and instantiate a post-boot VM."""
+        if image.name in self.spm._by_name or image.name in self.created:
+            raise ConfigurationError(f"VM name {image.name!r} already in use")
+        if secure and not self.secure_pool:
+            raise SecurityViolation(
+                "dynamic secure VMs require a secure-world pool configured "
+                "at boot: the TrustZone partition is static (paper II-b)",
+                subject=image.name,
+                operation="create_vm",
+            )
+        # The Section VII flow: no hardware attestation of late images, so
+        # the SPM verifies the vendor signature with the key embedded in
+        # the trusted boot sequence. A bad signature never allocates.
+        image.verify_with(self.root_key)
+        base = self.pool.allocate(memory_bytes)
+        size = self.pool._allocated[base] - base
+        region = MemoryRegion(f"vm.{image.name}", base, size, RegionKind.DRAM)
+        stage2 = build_ram_stage2(
+            image.name, region, block_size=self.spm.stage2_block
+        )
+        spec = PartitionSpec(
+            name=image.name,
+            role=VmRole.SECONDARY,
+            vcpus=vcpus,
+            memory_bytes=size,
+            kernel_factory=kernel_factory,
+            secure=secure,
+            image=image.data,
+        )
+        vm_id = self._next_vm_id
+        self._next_vm_id += 1
+        machine = self.spm.machine
+        vm = Vm(vm_id, spec, region, stage2, machine.engine)
+        from repro.tee.attestation import measure
+
+        vm.boot_measurement = measure(image.data)
+        self.spm.vms[vm_id] = vm
+        self.spm._by_name[image.name] = vm
+        self.spm.mailboxes[vm_id] = Mailbox(machine.engine, image.name)
+        self.spm._attach_kernel(vm)
+        self.created[image.name] = vm
+        machine.trace(
+            "spm.vm_create", "spm", vm=image.name, vm_id=vm_id, bytes=size
+        )
+        return vm
+
+    def destroy_vm(self, name: str) -> None:
+        """Halt, scrub, and reclaim a dynamically created VM."""
+        vm = self.created.get(name)
+        if vm is None:
+            raise ConfigurationError(f"{name!r} is not a dynamic VM")
+        vm.halt_requested = True
+        for vcpu in vm.vcpus:
+            if vcpu.state == VcpuState.RUNNING:
+                raise ConfigurationError(
+                    f"{name!r} has a resident VCPU; stop it first "
+                    "(core-local contract: the SPM cannot yank remote cores)"
+                )
+            vcpu.state = VcpuState.HALTED
+            vcpu.wake_signal.fire("destroyed")
+        # Scrub before reclaim: the next tenant must not see this data.
+        # (The backing store is sparse: zero exactly the written words.)
+        memmap = self.spm.machine.memmap
+        dirty = [
+            addr
+            for addr in memmap._words
+            if vm.memory.base <= addr < vm.memory.end
+        ]
+        for addr in dirty:
+            del memmap._words[addr]
+        self.scrubbed_bytes += vm.memory.size
+        del self.spm.vms[vm.vm_id]
+        del self.spm._by_name[name]
+        del self.spm.mailboxes[vm.vm_id]
+        del self.created[name]
+        self.pool.free(vm.memory.base)
+        self.spm.machine.trace("spm.vm_destroy", "spm", vm=name)

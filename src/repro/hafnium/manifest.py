@@ -1,0 +1,104 @@
+"""Boot-time partition manifest.
+
+Hafnium "requires that secure partitions and VM images be defined at boot
+time" (paper Section VII): the manifest fixes, before any OS runs, every
+VM's role, VCPU count, memory size, security world, and device
+assignment. The SPM constructs partitions from this and nothing else —
+there is no dynamic partition creation, matching the system the paper
+evaluates (and motivating its future-work discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MiB
+
+
+class VmRole(Enum):
+    PRIMARY = "primary"
+    SUPER_SECONDARY = "super-secondary"
+    SECONDARY = "secondary"
+
+
+@dataclass
+class PartitionSpec:
+    """One VM's boot-time definition."""
+
+    name: str
+    role: VmRole
+    vcpus: int
+    memory_bytes: int
+    #: builds the guest kernel model: f(machine, spec) -> KernelBase
+    kernel_factory: Callable = None
+    secure: bool = False          # place the partition in TrustZone secure world
+    devices: List[str] = field(default_factory=list)  # MMIO regions assigned
+    image: bytes = b""            # measured at boot (tee.boot)
+
+    def validate(self) -> None:
+        if self.vcpus < 1:
+            raise ConfigurationError(f"partition {self.name!r}: needs >= 1 VCPU")
+        if self.memory_bytes < 1 * MiB:
+            raise ConfigurationError(
+                f"partition {self.name!r}: memory {self.memory_bytes} too small"
+            )
+        if self.kernel_factory is None:
+            raise ConfigurationError(f"partition {self.name!r}: no kernel factory")
+        if self.role == VmRole.PRIMARY and self.secure:
+            raise ConfigurationError("the primary VM runs in the normal world")
+
+
+class Manifest:
+    """The full boot-time configuration handed to the SPM."""
+
+    def __init__(self, partitions: List[PartitionSpec]):
+        self.partitions = list(partitions)
+        self.validate()
+
+    def validate(self) -> None:
+        names = [p.name for p in self.partitions]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate partition names in {names}")
+        primaries = [p for p in self.partitions if p.role == VmRole.PRIMARY]
+        if len(primaries) != 1:
+            raise ConfigurationError(
+                f"exactly one primary VM required, got {len(primaries)}"
+            )
+        supers = [p for p in self.partitions if p.role == VmRole.SUPER_SECONDARY]
+        if len(supers) > 1:
+            raise ConfigurationError("at most one super-secondary VM is supported")
+        for p in self.partitions:
+            p.validate()
+        # Device (MMIO) assignment must be unambiguous.
+        seen = {}
+        for p in self.partitions:
+            for dev in p.devices:
+                if dev in seen:
+                    raise ConfigurationError(
+                        f"device {dev!r} assigned to both {seen[dev]!r} and {p.name!r}"
+                    )
+                seen[dev] = p.name
+
+    @property
+    def primary(self) -> PartitionSpec:
+        return next(p for p in self.partitions if p.role == VmRole.PRIMARY)
+
+    @property
+    def super_secondary(self) -> Optional[PartitionSpec]:
+        for p in self.partitions:
+            if p.role == VmRole.SUPER_SECONDARY:
+                return p
+        return None
+
+    @property
+    def secondaries(self) -> List[PartitionSpec]:
+        return [p for p in self.partitions if p.role == VmRole.SECONDARY]
+
+    def by_name(self, name: str) -> PartitionSpec:
+        for p in self.partitions:
+            if p.name == name:
+                return p
+        raise KeyError(name)

@@ -1,0 +1,110 @@
+"""First-fit memory pool with reclaim (for dynamic partitions).
+
+Hafnium's boot-time partitioning "removes the complexity of having to
+reclaim memory in order to launch a new VM" (paper Section VII). The
+dynamic-partition extension needs exactly that complexity: a pool carved
+out of DRAM at boot from which VM partitions can be allocated *and freed*
+at run time, with coalescing so the pool doesn't fragment to death.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+
+
+class PoolAllocator:
+    """First-fit allocator with free-list coalescing over [base, base+size)."""
+
+    def __init__(self, base: int, size: int, align: int = 2 * 1024 * 1024):
+        if size <= 0:
+            raise ConfigurationError("pool size must be positive")
+        if align <= 0 or align & (align - 1):
+            raise ConfigurationError("alignment must be a power of two")
+        if base % align:
+            raise ConfigurationError("pool base must be aligned")
+        self.base = base
+        self.size = size
+        self.align = align
+        # Sorted, disjoint, coalesced free ranges [(start, end)).
+        self._free: List[Tuple[int, int]] = [(base, base + size)]
+        self._allocated: dict = {}  # start -> end
+
+    def allocate(self, size: int) -> int:
+        """Allocate an aligned block; returns its base. Raises when no
+        free range fits (even if total free space would suffice —
+        fragmentation is real and the tests exercise it)."""
+        if size <= 0:
+            raise ConfigurationError("allocation size must be positive")
+        size = self._round(size)
+        for i, (start, end) in enumerate(self._free):
+            aligned = (start + self.align - 1) & ~(self.align - 1)
+            if aligned + size <= end:
+                # Carve [aligned, aligned+size) out of this range.
+                pieces = []
+                if start < aligned:
+                    pieces.append((start, aligned))
+                if aligned + size < end:
+                    pieces.append((aligned + size, end))
+                self._free[i : i + 1] = pieces
+                self._allocated[aligned] = aligned + size
+                return aligned
+        raise ConfigurationError(
+            f"pool exhausted/fragmented: cannot allocate {size:#x} "
+            f"(free={self.free_bytes:#x} in {len(self._free)} ranges)"
+        )
+
+    def free(self, addr: int) -> int:
+        """Return a block to the pool; coalesces neighbours. Returns the
+        block size. Double-free and foreign addresses are errors."""
+        end = self._allocated.pop(addr, None)
+        if end is None:
+            raise ConfigurationError(f"free of unallocated address {addr:#x}")
+        self._insert_coalesced(addr, end)
+        return end - addr
+
+    def _insert_coalesced(self, start: int, end: int) -> None:
+        merged = []
+        placed = False
+        for s, e in self._free:
+            if e < start:
+                merged.append((s, e))
+            elif end < s:
+                if not placed:
+                    merged.append((start, end))
+                    placed = True
+                merged.append((s, e))
+            else:  # adjacent or overlapping: absorb
+                start = min(start, s)
+                end = max(end, e)
+        if not placed:
+            merged.append((start, end))
+        merged.sort()
+        self._free = merged
+
+    def _round(self, size: int) -> int:
+        return (size + self.align - 1) & ~(self.align - 1)
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(e - s for s, e in self._free)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(e - s for s, e in self._allocated.items())
+
+    @property
+    def fragment_count(self) -> int:
+        return len(self._free)
+
+    def owns(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    def check_invariants(self) -> None:
+        """Free ranges sorted, disjoint, non-adjacent; accounting adds up."""
+        for (s1, e1), (s2, e2) in zip(self._free, self._free[1:]):
+            assert s1 < e1, "empty free range"
+            assert e1 < s2, "free ranges overlap or are uncoalesced"
+        assert self._free == sorted(self._free)
+        assert self.free_bytes + self.allocated_bytes == self.size

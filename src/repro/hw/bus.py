@@ -1,0 +1,48 @@
+"""DRAM bus arbiter: dynamic bandwidth sharing between streams.
+
+The paper's benchmarks run one workload at a time, so their phase models
+use a static per-thread share of the memory bus. Co-location experiments
+need the *dynamic* version: concurrently streaming cores split the
+controller's bandwidth, and a stream's share rises when others pause.
+
+A stream registers while it is actively consuming bandwidth (its phase is
+armed and on-CPU) and unregisters when it completes, blocks, or is
+preempted. Pricing is per slice; dynamic phases bound their slice length
+so shares re-converge quickly after membership changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.common.errors import SimulationError
+
+
+class DramBus:
+    """Tracks the set of active streaming clients on the memory bus."""
+
+    def __init__(self, name: str = "dram-bus"):
+        self.name = name
+        self._active: Set[int] = set()
+        self.peak_streams = 0
+        self.registrations = 0
+
+    def register(self, stream_id: int) -> None:
+        if stream_id in self._active:
+            raise SimulationError(f"{self.name}: stream {stream_id} already active")
+        self._active.add(stream_id)
+        self.registrations += 1
+        self.peak_streams = max(self.peak_streams, len(self._active))
+
+    def unregister(self, stream_id: int) -> None:
+        self._active.discard(stream_id)
+
+    def share(self, stream_id: int) -> float:
+        """The fair bandwidth fraction for `stream_id` right now (counts
+        the caller whether or not it has registered yet)."""
+        n = len(self._active) + (0 if stream_id in self._active else 1)
+        return 1.0 / max(1, n)
+
+    @property
+    def active_streams(self) -> int:
+        return len(self._active)

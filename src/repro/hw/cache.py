@@ -1,0 +1,97 @@
+"""Set-associative cache model.
+
+As with the TLB, the functional model (real sets, LRU ways) backs unit
+tests and pollution accounting; phase pricing uses the closed-form helpers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+from repro.common.errors import ConfigurationError
+
+
+class CacheModel:
+    """A physically-tagged, set-associative, LRU write-back cache."""
+
+    def __init__(self, size: int, line: int = 64, ways: int = 4, name: str = "cache"):
+        if size <= 0 or line <= 0 or ways <= 0:
+            raise ConfigurationError("cache geometry must be positive")
+        if size % (line * ways):
+            raise ConfigurationError(
+                f"{name}: size {size} not divisible by line*ways {line * ways}"
+            )
+        self.size = size
+        self.line = line
+        self.ways = ways
+        self.num_sets = size // (line * ways)
+        self.name = name
+        self._sets: List["OrderedDict[int, None]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _index_tag(self, addr: int):
+        line_addr = addr // self.line
+        return line_addr % self.num_sets, line_addr // self.num_sets
+
+    def access(self, addr: int) -> bool:
+        """Access one address; fill on miss. Returns True on hit."""
+        idx, tag = self._index_tag(addr)
+        s = self._sets[idx]
+        if tag in s:
+            s.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(s) >= self.ways:
+            s.popitem(last=False)
+        s[tag] = None
+        return False
+
+    def flush(self) -> int:
+        n = self.occupancy()
+        for s in self._sets:
+            s.clear()
+        return n
+
+    def evict_fraction(self, fraction: float) -> int:
+        """Drop the LRU `fraction` of lines in every set (pollution model)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"fraction {fraction} outside [0,1]")
+        dropped = 0
+        for s in self._sets:
+            n = int(len(s) * fraction)
+            for _ in range(n):
+                s.popitem(last=False)
+            dropped += n
+        return dropped
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+def random_steady_hit_rate(working_set: float, size: int) -> float:
+    """Steady-state hit rate of uniform-random accesses over a working set
+    through a cache of `size` bytes."""
+    if working_set <= 0:
+        return 1.0
+    return min(1.0, size / working_set)
+
+
+def sequential_miss_per_byte(line: int) -> float:
+    """Streaming misses per byte: one line fill per `line` bytes."""
+    if line <= 0:
+        raise ConfigurationError("line must be positive")
+    return 1.0 / line

@@ -1,0 +1,148 @@
+"""CPU core model.
+
+A core is where one kernel's per-core loop (a :class:`repro.sim.Process`)
+executes. The core mediates interrupt delivery: when its GIC CPU interface
+signals a deliverable interrupt, the core interrupts the attached loop
+process — or latches a doorbell if the loop is not at an interruptible
+point, which the loop polls at its next scheduling boundary (this mirrors
+how PSTATE.I-masked regions defer interrupts to the next unmask).
+
+The core also tracks the architectural context the paper's isolation story
+depends on: current exception level, security world, and active
+translation regime — and offers a functional ``touch`` used by tests and
+examples to demonstrate that stage-2 + TrustZone enforcement actually
+rejects cross-partition accesses.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum, Enum
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.common.errors import HardwareFault, SimulationError
+from repro.hw.gic import GicCpuInterface
+from repro.hw.mmu import TranslationRegime
+from repro.hw.perfmodel import MemEnv
+from repro.hw.pmu import DebugRegisters, Pmu
+from repro.hw.timer import GenericTimer
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.machine import Machine
+
+
+class ExceptionLevel(IntEnum):
+    EL0 = 0  # user
+    EL1 = 1  # kernel
+    EL2 = 2  # hypervisor
+    EL3 = 3  # secure monitor / firmware
+
+
+class SecurityWorld(Enum):
+    NONSECURE = "nonsecure"
+    SECURE = "secure"
+
+
+class IrqPreemption:
+    """The payload delivered as Interrupted.reason on a hardware interrupt."""
+
+    __slots__ = ("core_id",)
+
+    def __init__(self, core_id: int):
+        self.core_id = core_id
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"IrqPreemption(core{self.core_id})"
+
+
+class Core:
+    """One physical CPU core."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        core_id: int,
+        cpu_iface: GicCpuInterface,
+        timer: GenericTimer,
+    ):
+        self.machine = machine
+        self.engine: Engine = machine.engine
+        self.core_id = core_id
+        self.cpu_iface = cpu_iface
+        self.timer = timer
+        self.env = MemEnv(machine.soc, machine.perf.params)
+        self.pmu = Pmu(core_id)
+        self.debug = DebugRegisters(core_id)
+        # Architectural context.
+        self.el = ExceptionLevel.EL1
+        self.world = SecurityWorld.NONSECURE
+        self.regime: Optional[TranslationRegime] = None
+        # Execution plumbing.
+        self.loop_process: Optional[Process] = None
+        self.irq_doorbell = False
+        self.idle_time_ps = 0
+        cpu_iface.irq_entry = self._on_deliverable_irq
+
+    # -- loop attachment -----------------------------------------------------
+
+    def attach_loop(self, process: Process) -> None:
+        if self.loop_process is not None and self.loop_process.alive:
+            raise SimulationError(
+                f"core{self.core_id} already has a live loop process"
+            )
+        self.loop_process = process
+
+    def _on_deliverable_irq(self) -> None:
+        """GIC signals a deliverable interrupt for this core."""
+        proc = self.loop_process
+        if proc is not None and proc.alive and proc.interrupt(IrqPreemption(self.core_id)):
+            return
+        # Loop is mid-callback (conceptually: IRQs masked); latch for poll.
+        self.irq_doorbell = True
+
+    def take_doorbell(self) -> bool:
+        """Consume the latched-IRQ flag (polled at scheduling boundaries)."""
+        was = self.irq_doorbell
+        self.irq_doorbell = False
+        return was
+
+    def irq_pending(self) -> bool:
+        return self.irq_doorbell or self.cpu_iface.has_deliverable()
+
+    # -- architectural context -----------------------------------------------
+
+    def set_context(
+        self,
+        el: ExceptionLevel,
+        world: SecurityWorld,
+        regime: Optional[TranslationRegime],
+    ) -> None:
+        self.el = el
+        self.world = world
+        self.regime = regime
+
+    def touch(self, va: int, access: str = "r") -> int:
+        """Functionally access a virtual address in the current context.
+
+        Runs the full translation (stage 1, stage 2) and the TrustZone
+        check, returning the physical address — or raising
+        TranslationFault / SecurityViolation exactly where real hardware
+        would abort. This is the hook isolation tests drive.
+        """
+        if self.regime is None:
+            pa = va
+        else:
+            pa, _refs = self.regime.translate(va, access)
+        self.machine.trustzone.check_access(pa, self.world.value, access)
+        region = self.machine.memmap.region_at(pa)
+        if region is None:
+            raise HardwareFault(
+                f"core{self.core_id}: access to unmapped PA {pa:#x}",
+                address=pa,
+                fault_type="bus",
+            )
+        return pa
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Core({self.core_id}, EL{int(self.el)}, {self.world.value})"

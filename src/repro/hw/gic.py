@@ -1,0 +1,210 @@
+"""Generic Interrupt Controller model (GICv2-style; GICv3 and the BCM2836
+local controller are configured variants of the same model).
+
+IRQ ID space follows the ARM convention: SGIs 0-15 (inter-processor),
+PPIs 16-31 (per-core private — the generic timers live here), SPIs 32+
+(shared peripherals, routable to any core — the routing table is what the
+paper's super-secondary "selective IRQ routing" modifies).
+
+Sources assert lines (level) or pulse them (edge). When a core has an
+enabled, pending, unmasked interrupt the CPU interface invokes the core's
+``irq_entry`` callback — which preempts whatever the core is executing.
+Software then ``ack``s (get the IRQ id, mark active) and ``eoi``s it.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.errors import ConfigurationError, SimulationError
+
+SGI_BASE, PPI_BASE, SPI_BASE = 0, 16, 32
+MAX_IRQ = 1020
+
+# Standard ARM generic-timer PPIs.
+PPI_HYP_TIMER = 26
+PPI_VIRT_TIMER = 27
+PPI_PHYS_TIMER = 30
+
+
+class IrqTrigger(Enum):
+    EDGE = "edge"
+    LEVEL = "level"
+
+
+class Gic:
+    """Distributor + per-core CPU interfaces."""
+
+    def __init__(self, num_cores: int, version: str = "gic2"):
+        if num_cores < 1:
+            raise ConfigurationError("GIC needs at least one core")
+        self.num_cores = num_cores
+        self.version = version
+        self.enabled: Set[int] = set()
+        self.trigger: Dict[int, IrqTrigger] = {}
+        self.priority: Dict[int, int] = {}
+        self.spi_target: Dict[int, int] = {}  # SPI -> core
+        self.level_state: Dict[int, bool] = {}
+        self.cpu_ifaces: List[GicCpuInterface] = [
+            GicCpuInterface(self, c) for c in range(num_cores)
+        ]
+        self.stats_delivered: Dict[int, int] = {}
+
+    # -- configuration -----------------------------------------------------
+
+    @staticmethod
+    def classify(irq: int) -> str:
+        if not 0 <= irq < MAX_IRQ:
+            raise ConfigurationError(f"IRQ {irq} out of range")
+        if irq < PPI_BASE:
+            return "sgi"
+        if irq < SPI_BASE:
+            return "ppi"
+        return "spi"
+
+    def configure(
+        self,
+        irq: int,
+        trigger: IrqTrigger = IrqTrigger.LEVEL,
+        priority: int = 0xA0,
+        target_core: int = 0,
+    ) -> None:
+        kind = self.classify(irq)
+        self.trigger[irq] = trigger
+        self.priority[irq] = priority
+        if kind == "spi":
+            if not 0 <= target_core < self.num_cores:
+                raise ConfigurationError(f"SPI {irq} target core {target_core} invalid")
+            self.spi_target[irq] = target_core
+
+    def enable(self, irq: int) -> None:
+        if irq not in self.trigger:
+            self.configure(irq)
+        self.enabled.add(irq)
+        # A line already asserted becomes deliverable on enable.
+        if self.level_state.get(irq):
+            self._repropagate(irq)
+
+    def disable(self, irq: int) -> None:
+        self.enabled.discard(irq)
+
+    def retarget_spi(self, irq: int, core: int) -> None:
+        """Change SPI routing (the selective-routing experiment's hook)."""
+        if self.classify(irq) != "spi":
+            raise ConfigurationError(f"IRQ {irq} is not an SPI")
+        if not 0 <= core < self.num_cores:
+            raise ConfigurationError(f"core {core} invalid")
+        self.spi_target[irq] = core
+
+    # -- source side ---------------------------------------------------------
+
+    def _targets(self, irq: int, core_hint: Optional[int]) -> List[int]:
+        kind = self.classify(irq)
+        if kind == "spi":
+            return [self.spi_target.get(irq, 0)]
+        if core_hint is None:
+            raise SimulationError(f"{kind} {irq} needs an explicit core")
+        return [core_hint]
+
+    def assert_level(self, irq: int, core: Optional[int] = None) -> None:
+        """Assert a level-triggered line (stays pending until deassert)."""
+        self.level_state[irq] = True
+        for c in self._targets(irq, core):
+            self.cpu_ifaces[c].set_pending(irq)
+
+    def deassert_level(self, irq: int, core: Optional[int] = None) -> None:
+        self.level_state[irq] = False
+        for c in self._targets(irq, core):
+            self.cpu_ifaces[c].clear_pending(irq)
+
+    def pulse(self, irq: int, core: Optional[int] = None) -> None:
+        """Edge-triggered assertion: latches pending once."""
+        for c in self._targets(irq, core):
+            self.cpu_ifaces[c].set_pending(irq)
+
+    def send_sgi(self, irq: int, target_core: int) -> None:
+        """Software-generated (inter-processor) interrupt."""
+        if self.classify(irq) != "sgi":
+            raise ConfigurationError(f"IRQ {irq} is not an SGI")
+        self.cpu_ifaces[target_core].set_pending(irq)
+
+    def _repropagate(self, irq: int) -> None:
+        if self.classify(irq) == "spi":
+            self.cpu_ifaces[self.spi_target.get(irq, 0)].set_pending(irq)
+
+
+class GicCpuInterface:
+    """Per-core view: pending/active sets + delivery callback."""
+
+    def __init__(self, gic: Gic, core_id: int):
+        self.gic = gic
+        self.core_id = core_id
+        self.pending: Set[int] = set()
+        self.active: Set[int] = set()
+        # Installed by the Core model: called when a deliverable IRQ appears.
+        self.irq_entry: Optional[Callable[[], None]] = None
+        self.masked = True  # cores boot with IRQs masked
+
+    # -- signal path ---------------------------------------------------------
+
+    def set_pending(self, irq: int) -> None:
+        if irq in self.active:
+            return  # already being handled; level stays noted via gic state
+        self.pending.add(irq)
+        self._maybe_signal()
+
+    def clear_pending(self, irq: int) -> None:
+        self.pending.discard(irq)
+
+    def _deliverable(self) -> Optional[int]:
+        best: Optional[Tuple[int, int]] = None
+        for irq in self.pending:
+            if irq not in self.gic.enabled:
+                continue
+            prio = self.gic.priority.get(irq, 0xA0)
+            if best is None or (prio, irq) < best:
+                best = (prio, irq)
+        return best[1] if best else None
+
+    def _maybe_signal(self) -> None:
+        if self.masked or self.irq_entry is None:
+            return
+        if self._deliverable() is not None:
+            self.irq_entry()
+
+    def has_deliverable(self) -> bool:
+        return self._deliverable() is not None
+
+    def peek(self) -> Optional[int]:
+        """Highest-priority deliverable IRQ without acknowledging it (the
+        hypervisor uses this to classify an exit before deciding whether
+        to handle the interrupt at EL2 or bounce it to the primary)."""
+        return self._deliverable()
+
+    # -- software interface ----------------------------------------------------
+
+    def set_masked(self, masked: bool) -> None:
+        """PSTATE.I equivalent: unmasking re-checks for pending work."""
+        self.masked = masked
+        if not masked:
+            self._maybe_signal()
+
+    def ack(self) -> Optional[int]:
+        """Read IAR: highest-priority deliverable IRQ -> active. None = spurious."""
+        irq = self._deliverable()
+        if irq is None:
+            return None
+        self.pending.discard(irq)
+        self.active.add(irq)
+        self.gic.stats_delivered[irq] = self.gic.stats_delivered.get(irq, 0) + 1
+        return irq
+
+    def eoi(self, irq: int) -> None:
+        """Write EOIR. A still-asserted level line goes pending again."""
+        if irq not in self.active:
+            raise SimulationError(f"EOI for inactive IRQ {irq} on core {self.core_id}")
+        self.active.discard(irq)
+        if self.gic.level_state.get(irq):
+            self.pending.add(irq)
+            self._maybe_signal()

@@ -1,0 +1,93 @@
+"""Performance Monitoring Unit model.
+
+The ARM PMU gives native software cycle/instruction/TLB-miss counters.
+Porting Kitten to run as a Hafnium secondary "required disabling a number
+of low level architectural features ... such as the performance counter
+and debug registers" (paper Section IV-b): Hafnium traps PMU accesses
+from secondary VMs. We model the counters natively (fed by the kernel's
+dispatch loop statistics) and enforce the trap for guests — attempting to
+read the PMU from a secondary raises the same abort path any forbidden
+architectural feature would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, TYPE_CHECKING
+
+from repro.common.errors import SecurityViolation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.cpu import Core
+
+#: Architectural event numbers (a useful subset of the ARMv8 PMU events).
+EVT_CYCLES = 0x11
+EVT_INSTRUCTIONS = 0x08
+EVT_TLB_MISS = 0x05
+EVT_CACHE_MISS = 0x03
+EVT_IRQS = 0x86  # (vendor space) interrupts taken
+
+KNOWN_EVENTS = {EVT_CYCLES, EVT_INSTRUCTIONS, EVT_TLB_MISS, EVT_CACHE_MISS, EVT_IRQS}
+
+
+class PmuTrapError(SecurityViolation):
+    """A secondary VM touched a trapped architectural feature."""
+
+    def __init__(self, feature: str, vm_name: str):
+        super().__init__(
+            f"access to {feature} is trapped for secondary VM {vm_name!r} "
+            "(Hafnium disallows the performance counter and debug registers)",
+            subject=vm_name,
+            operation=feature,
+        )
+
+
+@dataclass
+class Pmu:
+    """Per-core counters, written by the models, read via `read`."""
+
+    core_id: int
+    counters: Dict[int, float] = field(
+        default_factory=lambda: {e: 0.0 for e in KNOWN_EVENTS}
+    )
+    enabled: bool = True
+
+    def count(self, event: int, delta: float) -> None:
+        if not self.enabled:
+            return
+        if event in self.counters:
+            self.counters[event] += delta
+
+    def count_cycles_for(self, ps: int, freq_hz: float) -> None:
+        self.count(EVT_CYCLES, ps * freq_hz / 1e12)
+
+    def read(self, event: int, *, el: int = 1, guest_vm: str = "") -> float:
+        """Read a counter. `el`/`guest_vm` describe the reader's context:
+        a secondary VM (guest_vm non-empty at EL1) takes a trap."""
+        if guest_vm:
+            raise PmuTrapError("PMU", guest_vm)
+        if event not in self.counters:
+            raise KeyError(f"unknown PMU event {event:#x}")
+        return self.counters[event]
+
+    def reset(self) -> None:
+        for e in self.counters:
+            self.counters[e] = 0.0
+
+
+class DebugRegisters:
+    """Debug/breakpoint registers: same trap policy as the PMU."""
+
+    def __init__(self, core_id: int):
+        self.core_id = core_id
+        self.breakpoints: Dict[int, int] = {}
+
+    def set_breakpoint(self, idx: int, addr: int, *, guest_vm: str = "") -> None:
+        if guest_vm:
+            raise PmuTrapError("debug registers", guest_vm)
+        self.breakpoints[idx] = addr
+
+    def clear(self, idx: int, *, guest_vm: str = "") -> None:
+        if guest_vm:
+            raise PmuTrapError("debug registers", guest_vm)
+        self.breakpoints.pop(idx, None)

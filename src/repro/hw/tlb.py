@@ -1,0 +1,123 @@
+"""TLB model.
+
+A functional LRU TLB tagged by (VMID, ASID, virtual page number), used by
+tests and by the VM-switch pollution accounting, plus the closed-form
+hit-rate estimates the performance model prices phases with (per-access
+simulation of billions of updates is infeasible in Python; the geometry of
+random/sequential access patterns over an LRU TLB has simple expectations).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+
+TlbTag = Tuple[int, int, int]  # (vmid, asid, vpn)
+
+
+class TlbModel:
+    """LRU translation cache with VMID/ASID-selective invalidation."""
+
+    def __init__(self, entries: int, name: str = "tlb"):
+        if entries < 1:
+            raise ConfigurationError("TLB must have at least one entry")
+        self.capacity = entries
+        self.name = name
+        self._lru: "OrderedDict[TlbTag, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    def access(self, vmid: int, asid: int, vpn: int) -> bool:
+        """Look up a translation; fills on miss. Returns True on hit."""
+        tag = (vmid, asid, vpn)
+        if tag in self._lru:
+            self._lru.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._lru) >= self.capacity:
+            self._lru.popitem(last=False)
+        self._lru[tag] = None
+        return False
+
+    def flush_all(self) -> int:
+        """TLBI ALLE1-style invalidation. Returns entries dropped."""
+        n = len(self._lru)
+        self._lru.clear()
+        self.flushes += 1
+        return n
+
+    def flush_vmid(self, vmid: int) -> int:
+        """Invalidate all entries of one VM (TLBI VMALLS12E1)."""
+        victims = [t for t in self._lru if t[0] == vmid]
+        for t in victims:
+            del self._lru[t]
+        self.flushes += 1
+        return len(victims)
+
+    def flush_asid(self, vmid: int, asid: int) -> int:
+        """Invalidate one address space within a VM (TLBI ASIDE1)."""
+        victims = [t for t in self._lru if t[0] == vmid and t[1] == asid]
+        for t in victims:
+            del self._lru[t]
+        self.flushes += 1
+        return len(victims)
+
+    def evict_fraction(self, fraction: float) -> int:
+        """Drop the coldest `fraction` of entries (models pollution by an
+        interrupt handler or hypervisor path running on this core)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"fraction {fraction} outside [0,1]")
+        n = int(len(self._lru) * fraction)
+        for _ in range(n):
+            self._lru.popitem(last=False)
+        return n
+
+    def occupancy(self, vmid: Optional[int] = None) -> int:
+        if vmid is None:
+            return len(self._lru)
+        return sum(1 for t in self._lru if t[0] == vmid)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+
+# -- closed-form expectations (used by repro.hw.perfmodel) -------------------
+
+
+def random_steady_hit_rate(pages: float, entries: int) -> float:
+    """Steady-state hit rate of uniform-random accesses over `pages`
+    distinct pages through an `entries`-entry LRU TLB.
+
+    With uniform access, the TLB holds min(entries, pages) distinct pages
+    and each access hits with probability (resident pages / total pages).
+    """
+    if pages <= 0:
+        return 1.0
+    return min(1.0, entries / pages)
+
+
+def sequential_misses(total_bytes: float, page_size: int) -> float:
+    """Compulsory misses of one sequential sweep: one per page touched."""
+    if page_size <= 0:
+        raise ConfigurationError("page size must be positive")
+    return max(0.0, total_bytes) / page_size
+
+
+def warmup_misses(resident_before: float, working_pages: float, entries: int) -> float:
+    """Extra misses paid to re-warm the TLB after an invalidation/pollution
+    event: every working page not resident must be walked once (bounded by
+    TLB capacity for working sets larger than the TLB)."""
+    steady_resident = min(entries, working_pages)
+    lost = max(0.0, steady_resident - resident_before)
+    return lost

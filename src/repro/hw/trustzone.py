@@ -1,0 +1,84 @@
+"""TrustZone model: secure/non-secure worlds and the TZASC.
+
+TrustZone partitions the physical address space into secure and non-secure
+memory at boot (the TrustZone Address Space Controller). Non-secure
+accesses to secure memory are rejected at the bus; secure masters may
+access both worlds. The partition is static after the early boot sequence
+locks it — the paper calls this out as a limitation of current TrustZone
+architectures (Section II-b).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.errors import ConfigurationError, SecurityViolation
+
+
+class TrustZoneController:
+    """TZASC: per-range security attributes + world-aware access checks."""
+
+    def __init__(self):
+        # (base, end) ranges marked secure; everything else is non-secure.
+        self._secure_ranges: List[Tuple[int, int]] = []
+        self._locked = False
+        self.rejected_accesses = 0
+
+    def mark_secure(self, base: int, size: int) -> None:
+        """Configure a physical range as secure-world memory (boot only)."""
+        if self._locked:
+            raise SecurityViolation(
+                "TZASC is locked; secure partitions are fixed after boot",
+                subject="tzasc",
+                operation="mark_secure",
+            )
+        if size <= 0:
+            raise ConfigurationError("secure range size must be positive")
+        end = base + size
+        for b, e in self._secure_ranges:
+            if base < e and b < end:
+                raise ConfigurationError(
+                    f"secure range {base:#x}-{end:#x} overlaps {b:#x}-{e:#x}"
+                )
+        self._secure_ranges.append((base, end))
+        self._secure_ranges.sort()
+
+    def lock(self) -> None:
+        """Freeze the configuration (done by BL2 before leaving EL3)."""
+        self._locked = True
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def is_secure(self, addr: int) -> bool:
+        for b, e in self._secure_ranges:
+            if b <= addr < e:
+                return True
+        return False
+
+    def range_is_secure(self, base: int, size: int) -> bool:
+        """True iff the whole range lies in secure memory."""
+        remaining_base, remaining_end = base, base + size
+        for b, e in self._secure_ranges:
+            if b <= remaining_base < e:
+                remaining_base = min(e, remaining_end)
+                if remaining_base >= remaining_end:
+                    return True
+        return False
+
+    def check_access(self, addr: int, world: "str", access: str = "r") -> None:
+        """Raise :class:`SecurityViolation` when a non-secure master touches
+        secure memory. `world` is "secure" or "nonsecure"."""
+        if world not in ("secure", "nonsecure"):
+            raise ConfigurationError(f"unknown world {world!r}")
+        if world == "nonsecure" and self.is_secure(addr):
+            self.rejected_accesses += 1
+            raise SecurityViolation(
+                f"non-secure {access!r} access to secure address {addr:#x}",
+                subject=f"world={world}",
+                operation=f"{access}@{addr:#x}",
+            )
+
+    def secure_ranges(self) -> List[Tuple[int, int]]:
+        return list(self._secure_ranges)

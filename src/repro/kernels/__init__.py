@@ -1,0 +1,52 @@
+"""OS kernel models.
+
+:mod:`repro.kernels.base` provides the execution machinery shared by the
+Kitten LWK model (:mod:`repro.kitten`) and the Linux FWK model
+(:mod:`repro.linuxk`): thread objects, work phases, the per-CPU dispatch
+loop, interrupt paths, and phase slicing/pricing. The two kernels differ
+in their schedulers, tick rates, background-task populations, and handler
+costs — exactly the axes the paper's evaluation isolates.
+"""
+
+from repro.kernels.phases import (
+    Phase,
+    ComputePhase,
+    MemoryPhase,
+    SpinPhase,
+    PricingContext,
+)
+from repro.kernels.thread import (
+    Thread,
+    ThreadState,
+    Sleep,
+    YieldCpu,
+    Hypercall,
+    BarrierWait,
+    WaitEvent,
+    SpinBarrier,
+    Pollute,
+    ReadPmu,
+    TouchMemory,
+)
+from repro.kernels.base import KernelBase, CpuSlot
+
+__all__ = [
+    "Phase",
+    "ComputePhase",
+    "MemoryPhase",
+    "SpinPhase",
+    "PricingContext",
+    "Thread",
+    "ThreadState",
+    "Sleep",
+    "YieldCpu",
+    "Hypercall",
+    "BarrierWait",
+    "WaitEvent",
+    "SpinBarrier",
+    "Pollute",
+    "ReadPmu",
+    "TouchMemory",
+    "KernelBase",
+    "CpuSlot",
+]

@@ -1,0 +1,706 @@
+"""Shared kernel machinery: dispatch loop, IRQ paths, phase slicing.
+
+One scheduling-loop implementation serves every kernel role in the paper's
+three configurations:
+
+* **native** — the loop runs directly as each physical core's process
+  (bare-metal Kitten, the baseline of Figure 4);
+* **primary** — same, but physical IRQs bounce through EL2 first and the
+  kernel may invoke hypercalls (``vcpu_run`` from its per-VCPU threads);
+* **secondary / super-secondary (guest)** — the *same loop generator* is
+  driven by the SPM inside the primary's VCPU thread; instead of handling
+  physical interrupts or idling, it raises :class:`~repro.hafnium.exits.VmExit`
+  exceptions that the SPM catches (the VM-exit path).
+
+All persistent execution state (current thread, in-progress phase,
+scheduler bookkeeping) lives in :class:`CpuSlot`/:class:`Thread` objects,
+never in generator frames — so a guest loop generator can die at every VM
+exit and be recreated at the next ``vcpu_run`` with perfect continuity.
+
+Subclasses (Kitten, Linux) provide the scheduler: ``enqueue``,
+``dequeue_next``, ``on_tick``, ``should_preempt_on_wake``, ``quantum_ps``,
+plus their tick rate and handler-cost class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, TYPE_CHECKING
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.units import hz_to_period_ps
+from repro.hw.cpu import Core
+from repro.hw.gic import PPI_VIRT_TIMER
+from repro.kernels.phases import Phase, PricingContext
+from repro.kernels.thread import (
+    BarrierWait,
+    Hypercall,
+    Pollute,
+    ReadPmu,
+    Sleep,
+    Thread,
+    ThreadState,
+    TouchMemory,
+    WaitEvent,
+    YieldCpu,
+)
+from repro.hw.perfmodel import TranslationInfo, NATIVE_TRANSLATION
+from repro.sim.engine import Signal
+from repro.sim.process import Interrupted, Process, Timeout, WaitSignal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.machine import Machine
+    from repro.hafnium.spm import Spm
+    from repro.hafnium.vm import Vcpu
+
+SGI_RESCHED = 1
+
+# Roles a kernel instance can play (paper Figure 3).
+ROLE_NATIVE = "native"
+ROLE_PRIMARY = "primary"
+ROLE_SECONDARY = "secondary"
+ROLE_SUPER = "super-secondary"
+
+GUEST_ROLES = (ROLE_SECONDARY, ROLE_SUPER)
+
+
+class CpuSlot:
+    """One schedulable CPU: a physical core (native/primary kernels) or a
+    VCPU (guest kernels). All per-CPU scheduler state hangs off the slot."""
+
+    def __init__(self, kernel: "KernelBase", index: int):
+        self.kernel = kernel
+        self.index = index
+        self.core: Optional[Core] = None       # resolved physical core
+        self.vcpu: Optional["Vcpu"] = None      # set for guest slots
+        self.current: Optional[Thread] = None
+        self.last_thread: Optional[Thread] = None
+        self.need_resched = False
+        self.runqueue: List[Thread] = []        # scheduler-managed
+        self.wake_signal = Signal(kernel.machine.engine, f"{kernel.name}.cpu{index}.wake")
+        self.tick_armed = False
+        self.ticks = 0
+        self.idle_ps = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        cur = self.current.name if self.current else "-"
+        return f"CpuSlot({self.kernel.name}, cpu{self.index}, cur={cur})"
+
+
+class KernelBase:
+    """Common kernel model. See module docstring."""
+
+    #: overridden by subclasses
+    KERNEL_KIND = "generic"
+    TICK_POLLUTION = "tick.kitten"
+    TICK_HANDLER_CYCLES = 1_500
+    VIRQ_HANDLER_CYCLES = 1_200
+
+    def __init__(
+        self,
+        machine: "Machine",
+        name: str,
+        *,
+        num_cpus: Optional[int] = None,
+        tick_hz: float = 10.0,
+        role: str = ROLE_NATIVE,
+        trans: Optional[TranslationInfo] = None,
+        jitter_sigma: float = 0.0025,
+    ):
+        self.machine = machine
+        self.name = name
+        self.role = role
+        self.is_guest = role in GUEST_ROLES
+        self.trans = trans if trans is not None else NATIVE_TRANSLATION
+        self.tick_hz = tick_hz
+        self.tick_period_ps = hz_to_period_ps(tick_hz) if tick_hz > 0 else 0
+        n = num_cpus if num_cpus is not None else machine.soc.num_cores
+        self.slots: List[CpuSlot] = [CpuSlot(self, i) for i in range(n)]
+        self.threads: List[Thread] = []
+        self.spm: Optional["Spm"] = None        # set when under Hafnium
+        self.vm_id: Optional[int] = None
+        self.irq_handlers: Dict[int, Callable] = {}
+        self.shutdown = False
+        self._timer_channel = "virt" if self.is_guest else "phys"
+        self._jitter_stream = machine.rng.stream(f"jitter.{name}")
+        self._jitter_sigma = jitter_sigma
+        self.stats = {
+            "irqs": 0,
+            "ticks": 0,
+            "virqs": 0,
+            "ctxsw": 0,
+            "hypercalls": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Scheduler interface (subclass responsibility)
+    # ------------------------------------------------------------------
+
+    def enqueue(self, slot: CpuSlot, thread: Thread) -> None:
+        raise NotImplementedError
+
+    def dequeue_next(self, slot: CpuSlot) -> Optional[Thread]:
+        raise NotImplementedError
+
+    def on_tick(self, slot: CpuSlot) -> None:
+        """Scheduler tick hook: update accounting, set need_resched."""
+        raise NotImplementedError
+
+    def should_preempt_on_wake(self, slot: CpuSlot, woken: Thread) -> bool:
+        raise NotImplementedError
+
+    def quantum_ps(self, thread: Thread) -> int:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Thread lifecycle
+    # ------------------------------------------------------------------
+
+    def spawn(self, thread: Thread) -> Thread:
+        """Register a thread and make it runnable on its home CPU slot."""
+        if not 0 <= thread.cpu < len(self.slots):
+            raise ConfigurationError(
+                f"{self.name}: thread {thread.name} pinned to missing cpu {thread.cpu}"
+            )
+        if thread.done_signal is None:
+            thread.done_signal = Signal(self.machine.engine, f"{thread.name}.done")
+        self.threads.append(thread)
+        thread.state = ThreadState.READY
+        slot = self.slots[thread.cpu]
+        self.enqueue(slot, thread)
+        self._kick_slot(slot, thread)
+        return thread
+
+    def wake(self, thread: Thread) -> None:
+        """Move a blocked thread back to its runqueue (wake-up path)."""
+        if thread.state in (ThreadState.DEAD,):
+            return
+        if thread.state in (ThreadState.READY, ThreadState.RUNNING):
+            return
+        thread.state = ThreadState.READY
+        thread.wakeups += 1
+        slot = self.slots[thread.cpu]
+        self.enqueue(slot, thread)
+        self._kick_slot(slot, thread)
+
+    def _kick_slot(self, slot: CpuSlot, woken: Thread) -> None:
+        """Nudge a slot that should notice new work: wake its idle loop,
+        set need_resched, and (cross-core, host kernels) send an SGI."""
+        slot.wake_signal.fire(woken)
+        if slot.current is not None and self.should_preempt_on_wake(slot, woken):
+            slot.need_resched = True
+            if not self.is_guest and slot.core is not None:
+                self.machine.gic.send_sgi(SGI_RESCHED, slot.core.core_id)
+        if self.is_guest and self.spm is not None and self.vm_id is not None:
+            # A VCPU sitting in WFI must be re-run by the primary.
+            self.spm.vcpu_work_available(self.vm_id, slot.index)
+
+    def schedule_wake(self, thread: Thread, delay_ps: int) -> None:
+        """Arm a software timer to wake `thread`. LWK precision by default;
+        the Linux model rounds to its jiffy grid (timer-wheel behaviour)."""
+        self.machine.engine.schedule(delay_ps, self.wake, thread)
+
+    def _thread_exited(self, slot: CpuSlot, thread: Thread) -> None:
+        thread.state = ThreadState.DEAD
+        slot.current = None
+        self.machine.trace(
+            "thread.exit", f"{self.name}", thread=thread.name, cpu=slot.index
+        )
+        if thread.done_signal is not None:
+            thread.done_signal.fire(thread.exit_value)
+
+    # ------------------------------------------------------------------
+    # Boot
+    # ------------------------------------------------------------------
+
+    def boot_on_cores(self, cores: Optional[List[Core]] = None) -> None:
+        """Attach the scheduling loop to physical cores (native/primary)."""
+        if self.is_guest:
+            raise SimulationError(f"{self.name}: guest kernels boot via the SPM")
+        cores = cores if cores is not None else self.machine.cores
+        if len(cores) != len(self.slots):
+            raise ConfigurationError(
+                f"{self.name}: {len(self.slots)} slots but {len(cores)} cores"
+            )
+        gic = self.machine.gic
+        gic.enable(SGI_RESCHED)
+        from repro.hw.gic import PPI_PHYS_TIMER  # local to avoid cycle noise
+
+        gic.enable(PPI_PHYS_TIMER)
+        gic.enable(PPI_VIRT_TIMER)
+        for spi in self.irq_handlers:
+            if spi >= 32:
+                gic.enable(spi)
+        for slot, core in zip(self.slots, cores):
+            slot.core = core
+            proc = Process(
+                self.machine.engine,
+                self._loop_forever(slot),
+                name=f"{self.name}.cpu{slot.index}",
+            )
+            core.attach_loop(proc)
+
+    def _loop_forever(self, slot: CpuSlot) -> Generator:
+        self._arm_tick(slot)
+        while not self.shutdown:
+            yield from self._schedule_loop(slot)
+
+    # ------------------------------------------------------------------
+    # The unified scheduling loop
+    # ------------------------------------------------------------------
+
+    def _schedule_loop(self, slot: CpuSlot) -> Generator:
+        """One full scheduling pass; hosts loop it forever, the SPM drives
+        it for guests until a VmExit escapes."""
+        if self.is_guest and not slot.tick_armed:
+            # First entry of this VCPU: enable the virtual interrupts this
+            # kernel implements and start the periodic tick on the
+            # para-virtual timer channel.
+            if slot.vcpu is not None:
+                slot.vcpu.vgic.enable(PPI_VIRT_TIMER, priority=0x20)
+                for spi in self.irq_handlers:
+                    slot.vcpu.vgic.enable(spi)
+            self._arm_tick(slot)
+        while not self.shutdown:
+            if self.is_guest:
+                yield from self._deliver_virqs(slot)
+            yield from self._poll_irqs(slot)
+            thread = slot.current
+            if thread is None:
+                thread = self.dequeue_next(slot)
+                if thread is None:
+                    yield from self._idle(slot)
+                    continue
+                yield from self._switch_in(slot, thread)
+            yield from self._run_current(slot)
+
+    def _switch_in(self, slot: CpuSlot, thread: Thread) -> Generator:
+        slot.current = thread
+        slot.need_resched = False
+        thread.state = ThreadState.RUNNING
+        thread.quantum_left_ps = self.quantum_ps(thread)
+        thread.last_dispatch_ps = self.machine.engine.now
+        if slot.last_thread is not None and slot.last_thread is not thread:
+            self.stats["ctxsw"] += 1
+            yield from self._consume(slot, self.machine.perf.event_cost("ctxsw"))
+            if slot.core is not None:
+                slot.core.env.pollute("ctxsw")
+        if slot.last_thread is not thread:
+            self.machine.trace(
+                "sched.switch",
+                f"{self.name}.cpu{slot.index}",
+                prev=slot.last_thread.name if slot.last_thread else "-",
+                next=thread.name,
+            )
+        slot.last_thread = thread
+
+    def _run_current(self, slot: CpuSlot) -> Generator:
+        thread = slot.current
+        if thread is None:
+            return
+        while thread.state is ThreadState.RUNNING and not slot.need_resched:
+            if self._irq_pending(slot):
+                yield from self._poll_irqs(slot)
+                continue
+            item = thread.current_item
+            if item is None:
+                item = thread.next_item()
+                if item is None:
+                    self._thread_exited(slot, thread)
+                    return
+                thread.current_item = item
+            yield from self._process_item(slot, thread, item)
+            if thread.state is not ThreadState.RUNNING:
+                # Blocked or dead: the item handler cleared what it had to.
+                if thread.state is ThreadState.BLOCKED:
+                    slot.current = None
+                return
+        if thread.state is ThreadState.RUNNING:
+            # Preempted: back on the queue.
+            thread.state = ThreadState.READY
+            thread.preemptions += 1
+            self.enqueue(slot, thread)
+            slot.current = None
+
+    # ------------------------------------------------------------------
+    # Item interpretation
+    # ------------------------------------------------------------------
+
+    def _process_item(self, slot: CpuSlot, thread: Thread, item: Any) -> Generator:
+        if isinstance(item, Phase):
+            yield from self._execute_phase(slot, thread, item)
+            if item.done:
+                thread.current_item = None
+        elif isinstance(item, Sleep):
+            thread.current_item = None
+            thread.state = ThreadState.BLOCKED
+            self.schedule_wake(thread, item.duration_ps)
+        elif isinstance(item, YieldCpu):
+            thread.current_item = None
+            slot.need_resched = True
+        elif isinstance(item, WaitEvent):
+            thread.current_item = None
+            if item.ready is not None and item.ready():
+                pass  # condition already satisfied: don't block
+            else:
+                thread.state = ThreadState.BLOCKED
+                item.signal.subscribe(lambda _payload, t=thread: self.wake(t))
+        elif isinstance(item, Pollute):
+            thread.current_item = None
+            self._core(slot).env.pollute(item.kind)
+        elif isinstance(item, TouchMemory):
+            thread.current_item = None
+            yield from self._touch_memory(slot, thread, item)
+        elif isinstance(item, ReadPmu):
+            thread.current_item = None
+            yield from self._read_pmu(slot, thread, item)
+        elif isinstance(item, BarrierWait):
+            yield from self._barrier_wait(slot, thread, item)
+            if item.satisfied:
+                thread.current_item = None
+        elif isinstance(item, Hypercall):
+            self.stats["hypercalls"] += 1
+            result = yield from self._do_hypercall(slot, thread, item)
+            thread.pending_send = result
+            thread.current_item = None
+        else:
+            raise SimulationError(
+                f"{self.name}: thread {thread.name} yielded unknown item {item!r}"
+            )
+
+    def _touch_memory(self, slot: CpuSlot, thread: Thread, item: TouchMemory) -> Generator:
+        """Perform a functional memory access in the current translation
+        context; a guest fault becomes a stage-2 abort (VM exit)."""
+        from repro.common.errors import HardwareFault, SecurityViolation
+        from repro.hafnium.exits import VmExitAbort
+
+        core = self._core(slot)
+        yield from self._consume(slot, self.machine.perf.cycles(10))
+        try:
+            thread.pending_send = core.touch(item.va, item.access)
+        except (HardwareFault, SecurityViolation) as fault:
+            self.machine.trace(
+                "fault",
+                f"{self.name}.cpu{slot.index}",
+                thread=thread.name,
+                va=item.va,
+                error=str(fault),
+            )
+            if self.is_guest:
+                raise VmExitAbort({"thread": thread.name, "va": item.va, "fault": fault})
+            thread.pending_send = fault
+
+    def _read_pmu(self, slot: CpuSlot, thread: Thread, item: ReadPmu) -> Generator:
+        """Architectural PMU access: trapped for secondary VMs."""
+        from repro.hw.pmu import PmuTrapError
+
+        core = self._core(slot)
+        yield from self._consume(slot, self.machine.perf.cycles(30))
+        if self.is_guest:
+            from repro.hafnium.exits import VmExitAbort
+
+            trap = PmuTrapError("PMU", self.name)
+            self.machine.trace(
+                "pmu.trap", f"{self.name}.cpu{slot.index}", thread=thread.name
+            )
+            raise VmExitAbort({"thread": thread.name, "fault": trap})
+        thread.pending_send = core.pmu.read(item.event)
+
+    def _do_hypercall(self, slot: CpuSlot, thread: Thread, call: Hypercall) -> Generator:
+        if self.spm is None:
+            raise SimulationError(
+                f"{self.name}: hypercall {call.name!r} without a hypervisor"
+            )
+        from repro.hafnium.spm import HypercallError
+        from repro.hafnium.exits import VmExitAbort
+
+        try:
+            result = yield from self.spm.hypercall(
+                self, slot, thread, call.name, call.args
+            )
+        except HypercallError as err:
+            self.machine.trace(
+                "hypercall.denied",
+                f"{self.name}.cpu{slot.index}",
+                call=call.name,
+                error=str(err),
+            )
+            if self.is_guest:
+                # A guest overstepping its privileges is killed, the same
+                # way a stage-2 violation would end it.
+                raise VmExitAbort({"hypercall": call.name, "error": str(err)})
+            result = {"ok": False, "error": str(err)}
+        return result
+
+    # ------------------------------------------------------------------
+    # Phase execution (the hot path)
+    # ------------------------------------------------------------------
+
+    def _pricing_ctx(self, slot: CpuSlot, thread: Thread) -> PricingContext:
+        core = self._core(slot)
+        ctx_key = (self.name, thread.aspace)
+        sigma = self._jitter_sigma
+
+        def jitter() -> float:
+            if sigma <= 0:
+                return 1.0
+            return max(0.9, 1.0 + sigma * float(self._jitter_stream.standard_normal()))
+
+        return PricingContext(
+            perf=self.machine.perf,
+            env=core.env,
+            base_key=ctx_key,
+            trans=self.trans,
+            jitter=jitter,
+            bus=self.machine.bus,
+        )
+
+    def _execute_phase(self, slot: CpuSlot, thread: Thread, phase: Phase) -> Generator:
+        engine = self.machine.engine
+        while not phase.done:
+            if thread.state is not ThreadState.RUNNING or slot.need_resched:
+                return
+            if self._irq_pending(slot):
+                yield from self._poll_irqs(slot)
+                continue
+            core = self._core(slot)
+            dur = phase.arm(self._pricing_ctx(slot, thread), engine.now)
+            truncated = phase.max_slice_ps is not None and dur > phase.max_slice_ps
+            if truncated:
+                dur = phase.max_slice_ps
+            core.cpu_iface.set_masked(False)
+            if self._irq_pending(slot):
+                # Unmasking revealed a latched interrupt: un-arm and handle.
+                core.cpu_iface.set_masked(True)
+                phase.advance(0, engine.now, interrupted=True)
+                phase.abandon_gap()
+                continue
+            t0 = engine.now
+            try:
+                yield Timeout(dur)
+                core.cpu_iface.set_masked(True)
+                thread.cpu_time_ps += engine.now - t0
+                core.pmu.count_cycles_for(engine.now - t0, self.machine.soc.freq_hz)
+                phase.advance(engine.now - t0, engine.now, interrupted=truncated)
+                if truncated:
+                    phase.abandon_gap()  # a repricing boundary, not a detour
+            except Interrupted:
+                core.cpu_iface.set_masked(True)
+                thread.cpu_time_ps += engine.now - t0
+                core.pmu.count_cycles_for(engine.now - t0, self.machine.soc.freq_hz)
+                phase.advance(engine.now - t0, engine.now, interrupted=True)
+                yield from self._on_interruption(slot)
+
+    def _barrier_wait(self, slot: CpuSlot, thread: Thread, item: BarrierWait) -> Generator:
+        barrier = item.barrier
+        engine = self.machine.engine
+        if not item.arrived:
+            item.arrived = True
+            item.start_gen = barrier.generation
+            if barrier.arrive():
+                item.satisfied = True
+                return
+        while barrier.generation == item.start_gen:
+            if thread.state is not ThreadState.RUNNING or slot.need_resched:
+                return
+            if self._irq_pending(slot):
+                yield from self._poll_irqs(slot)
+                continue
+            core = self._core(slot)
+            core.cpu_iface.set_masked(False)
+            if self._irq_pending(slot):
+                core.cpu_iface.set_masked(True)
+                continue
+            t0 = engine.now
+            try:
+                yield WaitSignal(barrier.signal)
+                core.cpu_iface.set_masked(True)
+                thread.cpu_time_ps += engine.now - t0  # spin-waiting burns CPU
+            except Interrupted:
+                core.cpu_iface.set_masked(True)
+                thread.cpu_time_ps += engine.now - t0
+                yield from self._on_interruption(slot)
+        item.satisfied = True
+
+    # ------------------------------------------------------------------
+    # Idle
+    # ------------------------------------------------------------------
+
+    def _idle(self, slot: CpuSlot) -> Generator:
+        if self.is_guest:
+            from repro.hafnium.exits import VmExitWfi
+
+            raise VmExitWfi()
+        core = self._core(slot)
+        engine = self.machine.engine
+        core.cpu_iface.set_masked(False)
+        if self._irq_pending(slot):
+            core.cpu_iface.set_masked(True)
+            yield from self._poll_irqs(slot)
+            return
+        t0 = engine.now
+        try:
+            yield WaitSignal(slot.wake_signal)
+            core.cpu_iface.set_masked(True)
+            slot.idle_ps += engine.now - t0
+        except Interrupted:
+            core.cpu_iface.set_masked(True)
+            slot.idle_ps += engine.now - t0
+            yield from self._on_interruption(slot)
+
+    # ------------------------------------------------------------------
+    # Interrupt paths
+    # ------------------------------------------------------------------
+
+    def _core(self, slot: CpuSlot) -> Core:
+        core = slot.core
+        if core is None:
+            raise SimulationError(f"{self.name}: slot {slot.index} has no core")
+        return core
+
+    def _irq_pending(self, slot: CpuSlot) -> bool:
+        core = slot.core
+        return core is not None and core.irq_pending()
+
+    def _poll_irqs(self, slot: CpuSlot) -> Generator:
+        if not self._irq_pending(slot):
+            return
+        self._core(slot).take_doorbell()
+        yield from self._on_interruption(slot)
+
+    def _on_interruption(self, slot: CpuSlot) -> Generator:
+        """A physical interrupt demands attention on this slot's core."""
+        if self.is_guest:
+            # Guests cannot handle physical interrupts: trap to the SPM.
+            from repro.hafnium.exits import VmExitIntr
+
+            raise VmExitIntr()
+        yield from self._irq_path(slot)
+
+    def _irq_path(self, slot: CpuSlot) -> Generator:
+        core = self._core(slot)
+        perf = self.machine.perf
+        core.take_doorbell()
+        if self.role == ROLE_PRIMARY:
+            # Hafnium owns EL2: physical IRQs bounce through the hypervisor
+            # before reaching the primary VM (paper Section II-a). Under
+            # selective routing, EL2 claims device IRQs for their owning
+            # VMs here, before the primary's handler ever runs.
+            yield from self._consume(slot, perf.event_cost("el2_irq_bounce"))
+            if self.spm is not None:
+                yield from self.spm.el2_claim_device_irqs(core)
+                if not core.cpu_iface.has_deliverable():
+                    return  # everything pending was claimed at EL2
+        yield from self._consume(slot, perf.event_cost("irq_entry"))
+        while True:
+            irq = core.cpu_iface.ack()
+            if irq is None:
+                break
+            self.stats["irqs"] += 1
+            from repro.hw.pmu import EVT_IRQS
+
+            core.pmu.count(EVT_IRQS, 1)
+            yield from self.handle_irq(slot, irq)
+            core.cpu_iface.eoi(irq)
+        yield from self._consume(slot, perf.event_cost("irq_exit"))
+
+    def handle_irq(self, slot: CpuSlot, irq: int) -> Generator:
+        """Host-side interrupt dispatch."""
+        core = self._core(slot)
+        perf = self.machine.perf
+        if irq == self._tick_ppi():
+            core.timer[self._timer_channel].stop()  # deassert the line
+            yield from self._consume(slot, perf.cycles(self.TICK_HANDLER_CYCLES))
+            core.env.pollute(self.TICK_POLLUTION)
+            slot.ticks += 1
+            self.stats["ticks"] += 1
+            self.on_tick(slot)
+            self._arm_tick(slot)
+        elif irq == SGI_RESCHED:
+            yield from self._consume(slot, perf.cycles(200))
+            slot.need_resched = True
+        elif irq == PPI_VIRT_TIMER and self.spm is not None:
+            # A guest's virtual timer fired while the guest was off-core:
+            # hand it to the SPM for injection.
+            yield from self._consume(slot, perf.cycles(300))
+            self.spm.vtimer_fired(core)
+        elif irq in self.irq_handlers:
+            yield from self.irq_handlers[irq](slot)
+        elif self.spm is not None and self.spm.device_irq_owner(irq) is not None:
+            # Interim super-secondary design: the primary receives every
+            # device interrupt and forwards it to the owning VM. (Under
+            # selective routing this only catches IRQs that pended after
+            # the EL2 claim pass; account them to the direct path.)
+            direct = self.spm.irq_routing_mode == "direct"
+            yield from self._consume(slot, perf.cycles(450 if direct else 700))
+            self.spm.deliver_device_irq(irq, direct=direct)
+        else:
+            # Spurious / unclaimed: count it, nothing else.
+            self.machine.trace(
+                "irq.unclaimed", f"{self.name}.cpu{slot.index}", irq=irq
+            )
+            yield from self._consume(slot, perf.cycles(150))
+
+    # ------------------------------------------------------------------
+    # Guest-side virtual interrupts
+    # ------------------------------------------------------------------
+
+    def _deliver_virqs(self, slot: CpuSlot) -> Generator:
+        vcpu = slot.vcpu
+        if vcpu is None:
+            return
+        perf = self.machine.perf
+        while True:
+            virq = vcpu.vgic.ack()
+            if virq is None:
+                break
+            self.stats["virqs"] += 1
+            yield from self._consume(slot, perf.event_cost("irq_entry"))
+            yield from self.handle_virq(slot, virq)
+            vcpu.vgic.eoi(virq)
+            yield from self._consume(slot, perf.event_cost("irq_exit"))
+
+    def handle_virq(self, slot: CpuSlot, virq: int) -> Generator:
+        core = self._core(slot)
+        perf = self.machine.perf
+        if virq == PPI_VIRT_TIMER:
+            yield from self._consume(slot, perf.cycles(self.VIRQ_HANDLER_CYCLES))
+            core.env.pollute(self.TICK_POLLUTION)
+            slot.ticks += 1
+            self.stats["ticks"] += 1
+            self.on_tick(slot)
+            self._arm_tick(slot)
+        else:
+            yield from self._consume(slot, perf.cycles(400))
+            self.machine.trace(
+                "virq.unclaimed", f"{self.name}.vcpu{slot.index}", virq=virq
+            )
+
+    # ------------------------------------------------------------------
+    # Tick management
+    # ------------------------------------------------------------------
+
+    def _tick_ppi(self) -> int:
+        from repro.hw.gic import PPI_PHYS_TIMER
+
+        return PPI_VIRT_TIMER if self._timer_channel == "virt" else PPI_PHYS_TIMER
+
+    def _arm_tick(self, slot: CpuSlot) -> None:
+        if self.tick_period_ps <= 0 or slot.core is None:
+            return
+        slot.core.timer[self._timer_channel].program(self.tick_period_ps)
+        slot.tick_armed = True
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _consume(self, slot: CpuSlot, ps: int) -> Generator:
+        """Uninterruptible kernel-path time (handlers run IRQ-masked)."""
+        if ps > 0:
+            yield Timeout(ps)
+
+    def runnable_count(self, slot: CpuSlot) -> int:
+        return len(slot.runqueue) + (1 if slot.current is not None else 0)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name!r}, role={self.role})"

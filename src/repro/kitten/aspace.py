@@ -1,0 +1,181 @@
+"""Kitten address-space management.
+
+Kitten gives each task a statically laid-out address space backed by
+physically contiguous memory and mapped with large (2 MiB) blocks — the
+LWK design that keeps TLB reach high and page-fault handling trivial
+(there are no demand faults: everything is mapped up front). This module
+builds those address spaces as real stage-1 page tables over a physical
+(or guest-physical) memory range, so a task's loads/stores can be
+functionally translated through stage 1 *and* stage 2.
+
+Layout (a simplified ELF process image):
+
+    0x0000_0000  +------------------+
+                 |   (guard hole)   |
+    TEXT_BASE    |   text (r-x)     |
+    DATA_BASE    |   data (rw-)     |
+    HEAP_BASE    |   heap (rw-)     |  grows up via brk()
+                 |        ...       |
+    STACK_TOP    |   stack (rw-)    |  grows down, fixed reservation
+                 +------------------+
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.hw.mmu import BLOCK_2M, PageAttrs, PageTable
+
+TEXT_BASE = 0x0040_0000          # 4 MiB, like a classic ELF load address
+DATA_GAP = BLOCK_2M              # guard between segments
+STACK_TOP = 0x7_FFE0_0000        # near the top of the 39-bit space
+
+
+def _round_up(x: int, align: int) -> int:
+    return (x + align - 1) & ~(align - 1)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One mapped region of a task's address space."""
+
+    name: str
+    va: int
+    size: int
+    attrs: PageAttrs
+
+    @property
+    def end(self) -> int:
+        return self.va + self.size
+
+
+class PhysBump:
+    """Bump allocator over the physical (or IPA) range backing tasks."""
+
+    def __init__(self, base: int, size: int):
+        if size <= 0:
+            raise ConfigurationError("backing range must be positive")
+        if base % BLOCK_2M:
+            raise ConfigurationError("backing range must be 2 MiB aligned")
+        self.base = base
+        self.end = base + size
+        self._next = base
+
+    def take(self, size: int) -> int:
+        size = _round_up(size, BLOCK_2M)
+        if self._next + size > self.end:
+            raise ConfigurationError(
+                f"out of task memory: need {size:#x}, "
+                f"{self.end - self._next:#x} left"
+            )
+        addr = self._next
+        self._next += size
+        return addr
+
+    @property
+    def used(self) -> int:
+        return self._next - self.base
+
+
+class AddressSpace:
+    """A Kitten task address space: segments + a real stage-1 table."""
+
+    def __init__(self, name: str, backing: PhysBump):
+        self.name = name
+        self.backing = backing
+        self.table = PageTable(f"{name}.s1", stage=1)
+        self.segments: Dict[str, Segment] = {}
+        self._heap_end: Optional[int] = None
+
+    # -- construction ------------------------------------------------------
+
+    def map_segment(
+        self, name: str, va: int, size: int, attrs: PageAttrs
+    ) -> Segment:
+        """Map a segment with 2 MiB blocks; size rounds up to block."""
+        if name in self.segments:
+            raise ConfigurationError(f"{self.name}: segment {name!r} exists")
+        if va % BLOCK_2M:
+            raise ConfigurationError(f"{self.name}: segment VA not 2 MiB aligned")
+        size = _round_up(size, BLOCK_2M)
+        pa = self.backing.take(size)
+        self.table.map(va, pa, size, attrs=attrs, block_size=BLOCK_2M)
+        seg = Segment(name, va, size, attrs)
+        self.segments[name] = seg
+        return seg
+
+    @staticmethod
+    def build_standard(
+        name: str,
+        backing: PhysBump,
+        *,
+        text_bytes: int = BLOCK_2M,
+        data_bytes: int = BLOCK_2M,
+        heap_bytes: int = 8 * BLOCK_2M,
+        stack_bytes: int = 2 * BLOCK_2M,
+    ) -> "AddressSpace":
+        """The standard LWK task layout."""
+        aspace = AddressSpace(name, backing)
+        text = aspace.map_segment(
+            "text", TEXT_BASE, text_bytes,
+            PageAttrs(read=True, write=False, execute=True, owner=name),
+        )
+        data_va = _round_up(text.end + DATA_GAP, BLOCK_2M)
+        data = aspace.map_segment(
+            "data", data_va, data_bytes,
+            PageAttrs(read=True, write=True, execute=False, owner=name),
+        )
+        heap_va = _round_up(data.end + DATA_GAP, BLOCK_2M)
+        aspace.map_segment(
+            "heap", heap_va, heap_bytes,
+            PageAttrs(read=True, write=True, execute=False, owner=name),
+        )
+        aspace._heap_end = heap_va + heap_bytes
+        aspace.map_segment(
+            "stack", STACK_TOP - _round_up(stack_bytes, BLOCK_2M), stack_bytes,
+            PageAttrs(read=True, write=True, execute=False, owner=name),
+        )
+        return aspace
+
+    def brk(self, grow_bytes: int) -> int:
+        """Grow the heap (Kitten pre-maps; brk extends the mapping).
+        Returns the new heap end."""
+        if self._heap_end is None:
+            raise ConfigurationError(f"{self.name}: no heap segment")
+        if grow_bytes <= 0:
+            return self._heap_end
+        size = _round_up(grow_bytes, BLOCK_2M)
+        pa = self.backing.take(size)
+        self.table.map(
+            self._heap_end, pa, size,
+            attrs=PageAttrs(read=True, write=True, owner=self.name),
+            block_size=BLOCK_2M,
+        )
+        # Record the extension as a numbered segment.
+        idx = sum(1 for s in self.segments if s.startswith("heap"))
+        self.segments[f"heap+{idx}"] = Segment(
+            f"heap+{idx}", self._heap_end, size,
+            PageAttrs(read=True, write=True, owner=self.name),
+        )
+        self._heap_end += size
+        return self._heap_end
+
+    # -- queries -------------------------------------------------------------
+
+    def translate(self, va: int, access: str = "r"):
+        """Stage-1 translation (raises TranslationFault on holes/perms)."""
+        return self.table.translate(va, access)
+
+    def segment_of(self, va: int) -> Optional[Segment]:
+        for seg in self.segments.values():
+            if seg.va <= va < seg.end:
+                return seg
+        return None
+
+    def mapped_bytes(self) -> int:
+        return sum(s.size for s in self.segments.values())
+
+    def segment_list(self) -> List[Segment]:
+        return sorted(self.segments.values(), key=lambda s: s.va)

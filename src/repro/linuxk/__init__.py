@@ -1,0 +1,21 @@
+"""The Linux full-weight-kernel (FWK) model.
+
+Linux is modeled at the level the paper's evaluation exercises it: a
+CFS-like fair scheduler ticking at 250 Hz on every core, a population of
+background kernel threads and userspace daemons whose wakeups interleave
+with VCPU threads, a jiffy-granular timer wheel, and the Hafnium device
+driver that schedules VMs by running one kernel thread per VCPU (paper
+Section II-a).
+"""
+
+from repro.linuxk.kernel import LinuxKernel
+from repro.linuxk.kthreads import BackgroundPopulation, NoiseSpec, DEFAULT_POPULATION
+from repro.linuxk.driver import HafniumDriver
+
+__all__ = [
+    "LinuxKernel",
+    "BackgroundPopulation",
+    "NoiseSpec",
+    "DEFAULT_POPULATION",
+    "HafniumDriver",
+]

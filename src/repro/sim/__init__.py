@@ -1,0 +1,27 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine models time as integer picoseconds (see :mod:`repro.common.units`).
+It provides:
+
+* :class:`~repro.sim.engine.Engine` — the event queue and clock,
+* :class:`~repro.sim.process.Process` — generator-based coroutine processes
+  with interruptible waits (used for CPU cores, kernel threads, workloads),
+* :class:`~repro.sim.engine.Signal` — broadcast wakeup primitive,
+* :class:`~repro.sim.trace.Tracer` — structured event trace with query helpers.
+"""
+
+from repro.sim.engine import Engine, Event, Signal
+from repro.sim.process import Process, Timeout, WaitSignal, Interrupted
+from repro.sim.trace import Tracer, TraceRecord
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Signal",
+    "Process",
+    "Timeout",
+    "WaitSignal",
+    "Interrupted",
+    "Tracer",
+    "TraceRecord",
+]

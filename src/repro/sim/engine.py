@@ -1,0 +1,192 @@
+"""The discrete-event core: clock, event queue, signals.
+
+Determinism contract
+--------------------
+Two events scheduled for the same instant fire in (priority, insertion
+order). All model code is single-threaded Python over integer timestamps,
+so a given (platform config, root seed) pair always produces bit-identical
+traces. The test suite relies on this.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+# Priorities: lower fires first at equal timestamps. Hardware (interrupt
+# delivery) beats software wakeups, which beat bookkeeping.
+PRIO_HW = 0
+PRIO_DEFAULT = 10
+PRIO_LATE = 20
+
+
+class Event:
+    """A scheduled callback. Returned by :meth:`Engine.schedule` for cancellation."""
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, priority: int, seq: int, fn: Callable, args: Tuple):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn: Optional[Callable] = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Idempotent; safe after firing."""
+        self.cancelled = True
+        self.fn = None  # break reference cycles early
+        self.args = ()
+
+    @property
+    def pending(self) -> bool:
+        return not self.cancelled and self.fn is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}, prio={self.priority}, seq={self.seq}, {state})"
+
+
+class Engine:
+    """Event queue + simulated clock (integer picoseconds)."""
+
+    def __init__(self):
+        self.now: int = 0
+        self._queue: List[Tuple[int, int, int, Event]] = []
+        self._seq = 0
+        self._running = False
+        self.events_fired = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: int, fn: Callable, *args: Any, priority: int = PRIO_DEFAULT) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` picoseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args, priority=priority)
+
+    def schedule_at(self, time: int, fn: Callable, *args: Any, priority: int = PRIO_DEFAULT) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time} < now={self.now})"
+            )
+        self._seq += 1
+        ev = Event(time, priority, self._seq, fn, args)
+        heapq.heappush(self._queue, (time, priority, self._seq, ev))
+        return ev
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next pending event. Returns False when the queue is empty."""
+        while self._queue:
+            time, _prio, _seq, ev = heapq.heappop(self._queue)
+            if ev.cancelled or ev.fn is None:
+                continue
+            if time < self.now:
+                raise SimulationError("event queue time went backwards")
+            self.now = time
+            fn, args = ev.fn, ev.args
+            ev.fn, ev.args = None, ()  # mark fired
+            self.events_fired += 1
+            fn(*args)
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains (or ``max_events`` fired)."""
+        self._running = True
+        fired = 0
+        try:
+            while self._running and self.step():
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"engine exceeded max_events={max_events}; "
+                        "likely a runaway event loop"
+                    )
+        finally:
+            self._running = False
+
+    def run_until(self, t: int) -> None:
+        """Run all events strictly up to and including time ``t``.
+
+        The clock is left at exactly ``t`` even if the last event fired
+        earlier, so callers can interleave ``run_until`` with direct state
+        inspection at known instants.
+        """
+        if t < self.now:
+            raise SimulationError(f"run_until into the past (t={t} < now={self.now})")
+        self._running = True
+        try:
+            while self._running and self._queue:
+                next_time, _, _, head = self._queue[0]
+                if not head.pending:
+                    heapq.heappop(self._queue)
+                    continue
+                if next_time > t:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if self.now < t:
+            self.now = t
+
+    def stop(self) -> None:
+        """Stop a ``run``/``run_until`` loop from inside an event callback."""
+        self._running = False
+
+    @property
+    def queue_length(self) -> int:
+        return sum(1 for _, _, _, ev in self._queue if ev.pending)
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next pending event, or None."""
+        for time, _, _, ev in sorted(self._queue)[:]:
+            if ev.pending:
+                return time
+        return None
+
+
+class Signal:
+    """Broadcast wakeup: processes/callbacks subscribe, ``fire`` wakes all.
+
+    Subscriptions are one-shot (consistent with how OS wait-queues are used
+    in the models: re-arm explicitly if you want the next edge too).
+    """
+
+    def __init__(self, engine: Engine, name: str = ""):
+        self._engine = engine
+        self.name = name
+        self._waiters: List[Callable[[Any], None]] = []
+        self.fire_count = 0
+        self.last_payload: Any = None
+
+    def subscribe(self, callback: Callable[[Any], None]) -> None:
+        self._waiters.append(callback)
+
+    def unsubscribe(self, callback: Callable[[Any], None]) -> None:
+        try:
+            self._waiters.remove(callback)
+        except ValueError:
+            pass
+
+    def fire(self, payload: Any = None) -> int:
+        """Wake all current subscribers immediately (same timestamp).
+
+        Returns the number of waiters woken. Waiters subscribed during the
+        firing are *not* woken by this edge.
+        """
+        self.fire_count += 1
+        self.last_payload = payload
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            cb(payload)
+        return len(waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"

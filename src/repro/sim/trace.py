@@ -1,0 +1,93 @@
+"""Structured simulation trace.
+
+Model components emit trace records (interrupt delivered, VM exit, context
+switch, detour observed, ...). Experiments and tests query the trace rather
+than scraping printed output. Records are cheap tuples; heavy analysis is
+done post-run, often vectorized via :meth:`Tracer.column`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: timestamp, category, subject, free-form payload."""
+
+    time: int
+    category: str
+    subject: str
+    data: Dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+
+class Tracer:
+    """Append-only trace with category filtering.
+
+    ``enabled_categories=None`` records everything; pass a set to restrict
+    recording (hot simulations disable per-access categories entirely).
+    """
+
+    def __init__(self, enabled_categories: Optional[Iterable[str]] = None):
+        self.records: List[TraceRecord] = []
+        self.enabled: Optional[set] = (
+            set(enabled_categories) if enabled_categories is not None else None
+        )
+        self.counts: Dict[str, int] = {}
+
+    def wants(self, category: str) -> bool:
+        return self.enabled is None or category in self.enabled
+
+    def emit(self, time: int, category: str, subject: str, **data: Any) -> None:
+        self.counts[category] = self.counts.get(category, 0) + 1
+        if self.wants(category):
+            self.records.append(TraceRecord(time, category, subject, data))
+
+    # -- queries -----------------------------------------------------------
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        subject: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        out = []
+        for r in self.records:
+            if category is not None and r.category != category:
+                continue
+            if subject is not None and r.subject != subject:
+                continue
+            if predicate is not None and not predicate(r):
+                continue
+            out.append(r)
+        return out
+
+    def count(self, category: str) -> int:
+        """Total emissions of a category (counted even when not recorded)."""
+        return self.counts.get(category, 0)
+
+    def times(self, category: str, subject: Optional[str] = None) -> np.ndarray:
+        """Timestamps (ps) of matching records as an array."""
+        return np.array(
+            [r.time for r in self.filter(category, subject)], dtype=np.int64
+        )
+
+    def column(
+        self, category: str, key: str, subject: Optional[str] = None
+    ) -> np.ndarray:
+        """Extract ``data[key]`` across matching records as a float array."""
+        return np.array(
+            [r.data[key] for r in self.filter(category, subject)], dtype=float
+        )
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

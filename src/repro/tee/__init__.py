@@ -1,0 +1,28 @@
+"""Trusted-boot and attestation models.
+
+The security guarantees Hafnium provides "are dependent on the attested
+boot chain as well as the correctness of Hafnium itself" (paper Section
+II-b). This package models that chain — BL1 -> BL2 -> BL31 (EL3) -> SPM ->
+primary VM — with real SHA-256 measurements over image bytes, an
+attestation log, and the certificate-based VM-image signature scheme the
+paper proposes for post-boot images (Section VII).
+"""
+
+from repro.tee.boot import BootChain, BootStage, BootImage, MeasuredBootError
+from repro.tee.attestation import (
+    AttestationLog,
+    SigningAuthority,
+    SignedImage,
+    VerificationError,
+)
+
+__all__ = [
+    "BootChain",
+    "BootStage",
+    "BootImage",
+    "MeasuredBootError",
+    "AttestationLog",
+    "SigningAuthority",
+    "SignedImage",
+    "VerificationError",
+]

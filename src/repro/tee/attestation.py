@@ -1,0 +1,116 @@
+"""Measurement log and VM-image signature verification.
+
+The signature scheme models the paper's Section VII proposal: "leverage
+certificate verification, where Hafnium is able to verify VM signatures
+using a known public key that is included as part of the trusted boot
+sequence." We model the cryptography with HMAC-SHA256 over a key pair of
+(signing secret, verification tag) — the trust *logic* (what is signed,
+what key roots the chain, what happens on mismatch) is exactly the
+proposal's; only the primitive is simulated, since no real adversary
+attacks a simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.errors import SecurityViolation
+
+
+class VerificationError(SecurityViolation):
+    """An image measurement or signature did not verify."""
+
+    def __init__(self, message: str, *, subject: str = "attestation"):
+        super().__init__(message, subject=subject, operation="verify")
+
+
+def measure(data: bytes) -> str:
+    """SHA-256 measurement of an image."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    stage: str
+    image_name: str
+    measurement: str
+
+
+class AttestationLog:
+    """Append-only measurement log (a software TPM PCR, in effect)."""
+
+    def __init__(self):
+        self.entries: List[LogEntry] = []
+        self._digest = hashlib.sha256(b"repro-attestation-root")
+
+    def extend(self, stage: str, image_name: str, data: bytes) -> str:
+        m = measure(data)
+        self.entries.append(LogEntry(stage, image_name, m))
+        self._digest.update(m.encode("ascii"))
+        return m
+
+    def quote(self) -> str:
+        """The rolled-up attestation value over everything measured."""
+        return self._digest.hexdigest()
+
+    def verify_against(self, expected: List[Tuple[str, str]]) -> bool:
+        """Check (image_name, measurement) pairs in order."""
+        got = [(e.image_name, e.measurement) for e in self.entries]
+        return got == list(expected)
+
+
+class SigningAuthority:
+    """Holds the signing secret whose verification key is baked into the
+    trusted boot sequence."""
+
+    def __init__(self, name: str, secret: bytes = b"repro-root-of-trust"):
+        self.name = name
+        self._secret = secret
+
+    def sign(self, data: bytes) -> str:
+        return hmac.new(self._secret, data, hashlib.sha256).hexdigest()
+
+    def public_key(self) -> "VerificationKey":
+        return VerificationKey(self.name, self._secret)
+
+
+class VerificationKey:
+    """What the boot chain embeds: verifies but is conceptually public
+    (the simulation stands in for asymmetric crypto)."""
+
+    def __init__(self, authority_name: str, secret: bytes):
+        self.authority_name = authority_name
+        self._secret = secret
+
+    def verify(self, data: bytes, signature: str) -> bool:
+        expected = hmac.new(self._secret, data, hashlib.sha256).hexdigest()
+        return hmac.compare_digest(expected, signature)
+
+
+@dataclass
+class SignedImage:
+    """A VM image plus its detached signature (the post-boot-launch
+    verification flow of Section VII)."""
+
+    name: str
+    data: bytes
+    signature: str
+    authority: str = "vendor"
+
+    @staticmethod
+    def create(name: str, data: bytes, authority: SigningAuthority) -> "SignedImage":
+        return SignedImage(name, data, authority.sign(data), authority.name)
+
+    def verify_with(self, key: VerificationKey) -> None:
+        if key.authority_name != self.authority:
+            raise VerificationError(
+                f"image {self.name!r}: signed by {self.authority!r}, "
+                f"boot chain trusts {key.authority_name!r}"
+            )
+        if not key.verify(self.data, self.signature):
+            raise VerificationError(
+                f"image {self.name!r}: signature verification failed"
+            )

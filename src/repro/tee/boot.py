@@ -1,0 +1,132 @@
+"""The measured boot chain.
+
+"In ARMv8, a hypervisor is directly invoked as part of the boot sequence
+and is thus able to virtualize the platform before an OS instance is ever
+run ... it is simply a link in the chain of the trusted boot sequence"
+(paper Section II-a). The chain here is the Trusted-Firmware-A flow:
+
+    BL1 (boot ROM) -> BL2 (trusted loader) -> BL31 (EL3 runtime)
+        -> SPM/Hafnium (EL2) -> primary VM image (EL1)
+
+Each stage measures the next before handing off; any mismatch against the
+expected measurement aborts the boot. BL2 also configures and locks the
+TrustZone secure-memory partitions — after which they are immutable for
+the life of the system (Section II-b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SecurityViolation
+from repro.hw.machine import Machine
+from repro.tee.attestation import (
+    AttestationLog,
+    SigningAuthority,
+    VerificationKey,
+    measure,
+)
+
+
+class MeasuredBootError(SecurityViolation):
+    def __init__(self, message: str):
+        super().__init__(message, subject="boot-chain", operation="measure")
+
+
+@dataclass(frozen=True)
+class BootImage:
+    """One loadable stage image."""
+
+    name: str
+    stage: str            # "bl2" | "bl31" | "spm" | "primary" | "vm"
+    data: bytes
+
+    @property
+    def measurement(self) -> str:
+        return measure(self.data)
+
+
+@dataclass
+class BootStage:
+    """A completed boot stage (for inspection)."""
+
+    name: str
+    measurement: str
+    el: int
+
+
+def default_images() -> List[BootImage]:
+    """A deterministic set of stage images (contents stand in for real
+    binaries; their bytes are what gets measured and signed)."""
+    return [
+        BootImage("bl2", "bl2", b"trusted-firmware-a:bl2:v2.5-repro"),
+        BootImage("bl31", "bl31", b"trusted-firmware-a:bl31:el3-runtime"),
+        BootImage("hafnium", "spm", b"hafnium:spm:kitten-integrated"),
+        BootImage("primary", "primary", b"kitten:arm64:primary-vm"),
+    ]
+
+
+class BootChain:
+    """Executes the measured boot: verify, measure, hand off, lock."""
+
+    ORDER = ["bl2", "bl31", "spm", "primary"]
+    STAGE_EL = {"bl1": 3, "bl2": 3, "bl31": 3, "spm": 2, "primary": 1}
+
+    def __init__(
+        self,
+        machine: Machine,
+        images: Optional[List[BootImage]] = None,
+        expected: Optional[Dict[str, str]] = None,
+        authority: Optional[SigningAuthority] = None,
+    ):
+        self.machine = machine
+        self.images = {img.stage: img for img in (images or default_images())}
+        #: golden measurements burnt into BL1 (None = trust-on-first-boot)
+        self.expected = expected
+        self.log = AttestationLog()
+        self.stages: List[BootStage] = []
+        self.completed = False
+        self.authority = authority or SigningAuthority("vendor")
+        #: the verification key embedded in the chain (Section VII design)
+        self.embedded_key: VerificationKey = self.authority.public_key()
+
+    def run(
+        self,
+        secure_regions: Optional[List[Tuple[int, int]]] = None,
+    ) -> AttestationLog:
+        """Run the whole chain. `secure_regions` are (base, size) ranges
+        BL2 programs into the TZASC before locking it."""
+        if self.completed:
+            raise MeasuredBootError("boot chain already completed")
+        self.stages.append(BootStage("bl1", measure(b"mask-rom"), 3))
+        for stage_name in self.ORDER:
+            img = self.images.get(stage_name)
+            if img is None:
+                raise MeasuredBootError(f"missing boot image for stage {stage_name!r}")
+            m = self.log.extend(stage_name, img.name, img.data)
+            if self.expected is not None:
+                want = self.expected.get(stage_name)
+                if want is not None and want != m:
+                    raise MeasuredBootError(
+                        f"stage {stage_name!r} measurement mismatch: "
+                        f"expected {want[:16]}..., got {m[:16]}... "
+                        "(image tampered or wrong version)"
+                    )
+            self.stages.append(BootStage(img.name, m, self.STAGE_EL[stage_name]))
+            if stage_name == "bl2":
+                # BL2 configures the static TrustZone partitions and locks
+                # the controller before anything less trusted runs.
+                for base, size in secure_regions or []:
+                    self.machine.trustzone.mark_secure(base, size)
+        self.machine.trustzone.lock()
+        self.completed = True
+        self.machine.trace(
+            "boot.complete", "boot-chain", quote=self.log.quote()[:16]
+        )
+        return self.log
+
+    def golden_measurements(self) -> Dict[str, str]:
+        """The measurements of the configured images (to burn into BL1 of
+        a subsequent boot: what `expected` should be)."""
+        return {stage: img.measurement for stage, img in self.images.items()}

@@ -1,0 +1,37 @@
+"""The paper's benchmark suite (Section V).
+
+Each benchmark exists in two forms:
+
+* a **phase model** — threads yielding compute/memory/spin/barrier items
+  that execute on the simulated node and produce the timing results the
+  figures report;
+* a **reference implementation** (:mod:`repro.workloads.mathkernels`) —
+  real NumPy/SciPy numerics used to validate that the algorithms the
+  phase models represent are implemented correctly (CG convergence, GUPS
+  update reversibility, STREAM verification sums, ...).
+"""
+
+from repro.workloads.base import Workload, WorkloadRun
+from repro.workloads.selfish import SelfishDetour
+from repro.workloads.stream import StreamBenchmark
+from repro.workloads.randomaccess import RandomAccessBenchmark
+from repro.workloads.hpcg import HpcgBenchmark
+from repro.workloads.npb import (
+    NpbBenchmark,
+    NPB_SPECS,
+    make_npb,
+)
+from repro.workloads.ftq import FtqBenchmark
+
+__all__ = [
+    "Workload",
+    "WorkloadRun",
+    "SelfishDetour",
+    "StreamBenchmark",
+    "RandomAccessBenchmark",
+    "HpcgBenchmark",
+    "NpbBenchmark",
+    "NPB_SPECS",
+    "make_npb",
+    "FtqBenchmark",
+]

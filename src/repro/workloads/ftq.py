@@ -1,0 +1,95 @@
+"""Fixed Time Quantum (FTQ) noise benchmark.
+
+The other standard OS-noise probe (Sottile & Minnich): divide time into
+fixed quanta and record how much work fits in each. On a quiet system
+every quantum holds the same work; noise shows up as dips. Complements
+selfish-detour (which records *when* noise happened) with *how much work
+was lost per interval* — the quantity that propagates into bulk-
+synchronous application slowdown.
+
+Implemented over the same spin machinery: the gaps recorded by a
+SpinPhase are folded into per-quantum work samples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import seconds, us
+from repro.kernels.phases import SpinPhase
+from repro.kernels.thread import SpinBarrier
+from repro.workloads.base import Workload
+
+
+class FtqBenchmark(Workload):
+    """One probe thread; samples = work fraction per quantum."""
+
+    name = "ftq"
+    unit = "samples"
+
+    def __init__(
+        self,
+        quanta: int = 200,
+        quantum_us: float = 5_000.0,
+        threads: int = 1,
+        gap_threshold_us: float = 0.5,
+    ):
+        super().__init__(threads=threads)
+        if quanta < 1:
+            raise ConfigurationError("need at least one quantum")
+        self.quanta = quanta
+        self.quantum_ps = us(quantum_us)
+        self.threshold_ps = us(gap_threshold_us)
+        self.phases: List[SpinPhase] = []
+        self._t0: Optional[int] = None
+
+    def _thread_body(self, tid: int, barrier):
+        phase = SpinPhase(
+            self.quanta * self.quantum_ps, self.threshold_ps, loop_ns=4.0
+        )
+        self.phases.append(phase)
+        if tid == 0:
+            self._t0 = self.start_ps
+        yield phase
+        return len(phase.detours)
+
+    def total_work(self) -> float:
+        return float(self.quanta)
+
+    # -- analysis -----------------------------------------------------------------
+
+    def work_samples(self, tid: int = 0) -> np.ndarray:
+        """Work fraction achieved in each quantum (1.0 = noise-free).
+
+        Gap time is attributed to the quantum containing the gap's start
+        (gaps spanning quantum boundaries are rare at our quantum sizes).
+        """
+        if not self.phases:
+            raise ConfigurationError("run the benchmark first")
+        phase = self.phases[tid]
+        t0 = self._t0 if self._t0 is not None else 0
+        lost = np.zeros(self.quanta)
+        # Wall-time per quantum stretches as gaps accumulate; map each gap
+        # to its quantum by *spun* time: spun-before-gap = gap_start - t0
+        # minus gaps so far (processed in order, so accumulate).
+        stolen_so_far = 0
+        for start, latency in phase.detours:
+            spun = (start - t0) - stolen_so_far
+            q = min(self.quanta - 1, max(0, int(spun // self.quantum_ps)))
+            lost[q] += latency
+            stolen_so_far += latency
+        return np.clip(1.0 - lost / self.quantum_ps, 0.0, 1.0)
+
+    def noise_metrics(self, tid: int = 0, dip_threshold: float = 0.999) -> Dict[str, float]:
+        samples = self.work_samples(tid)
+        return {
+            "mean_work": float(samples.mean()),
+            "min_work": float(samples.min()),
+            "stddev": float(samples.std()),
+            # The classic FTQ "noise" figure: lost work fraction.
+            "noise": float(1.0 - samples.mean()),
+            "dipped_quanta": int((samples < dip_threshold).sum()),
+        }

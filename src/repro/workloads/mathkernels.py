@@ -1,0 +1,404 @@
+"""Reference numerical implementations of the benchmark suite.
+
+These are *real* computations (NumPy/SciPy), small-scale versions of the
+kernels the phase models represent. They serve two purposes: the test
+suite validates algorithmic correctness against them (CG converges, GUPS
+updates verify, STREAM sums check out, ADI solves match direct solves),
+and the examples run them to show the workloads are not stand-in noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.common.errors import ConfigurationError
+
+
+# ---------------------------------------------------------------------------
+# STREAM
+# ---------------------------------------------------------------------------
+
+def stream_kernels(n: int, scalar: float = 3.0) -> Dict[str, np.ndarray]:
+    """Run the four STREAM kernels once; returns the arrays for checking."""
+    if n < 1:
+        raise ConfigurationError("STREAM needs n >= 1")
+    a = np.full(n, 1.0)
+    b = np.full(n, 2.0)
+    c = np.zeros(n)
+    c[:] = a                      # copy
+    b[:] = scalar * c             # scale
+    c[:] = a + b                  # add
+    a[:] = b + scalar * c         # triad
+    return {"a": a, "b": b, "c": c}
+
+
+def stream_verify(n: int, scalar: float = 3.0) -> float:
+    """STREAM's verification: evolve scalars the same way and compare.
+    Returns the max relative error (0 for a correct implementation)."""
+    arrays = stream_kernels(n, scalar)
+    aj, bj, cj = 1.0, 2.0, 0.0
+    cj = aj
+    bj = scalar * cj
+    cj = aj + bj
+    aj = bj + scalar * cj
+    errs = [
+        abs(arrays["a"] - aj).max() / abs(aj),
+        abs(arrays["b"] - bj).max() / abs(bj),
+        abs(arrays["c"] - cj).max() / abs(cj),
+    ]
+    return float(max(errs))
+
+
+# ---------------------------------------------------------------------------
+# RandomAccess (GUPS)
+# ---------------------------------------------------------------------------
+
+def gups_run(log2_entries: int, updates: int, seed: int = 1) -> np.ndarray:
+    """Perform GUPS-style XOR updates on a table; returns the table."""
+    n = 1 << log2_entries
+    table = np.arange(n, dtype=np.uint64)
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, n, size=updates, dtype=np.uint64)
+    vals = rng.integers(0, 2**63, size=updates, dtype=np.uint64)
+    # XOR updates (np.bitwise_xor.at handles repeated indices correctly).
+    np.bitwise_xor.at(table, idx, vals)
+    return table
+
+
+def gups_verify(log2_entries: int, updates: int, seed: int = 1) -> bool:
+    """GUPS verification: XOR updates are self-inverse, so applying the
+    same update stream twice must restore the initial table."""
+    n = 1 << log2_entries
+    table = gups_run(log2_entries, updates, seed)
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, n, size=updates, dtype=np.uint64)
+    vals = rng.integers(0, 2**63, size=updates, dtype=np.uint64)
+    np.bitwise_xor.at(table, idx, vals)
+    return bool(np.array_equal(table, np.arange(n, dtype=np.uint64)))
+
+
+# ---------------------------------------------------------------------------
+# HPCG: 27-point stencil + preconditioned CG
+# ---------------------------------------------------------------------------
+
+def hpcg_matrix(nx: int) -> sp.csr_matrix:
+    """The HPCG operator: a 27-point stencil on an nx^3 grid (diagonal 26,
+    off-diagonals -1), symmetric positive definite."""
+    if nx < 2:
+        raise ConfigurationError("hpcg_matrix needs nx >= 2")
+    n = nx**3
+    diags: List[np.ndarray] = []
+    offsets: List[int] = []
+    idx = np.arange(n)
+    ix = idx % nx
+    iy = (idx // nx) % nx
+    iz = idx // (nx * nx)
+    rows, cols, vals = [], [], []
+    for dz in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                jx, jy, jz = ix + dx, iy + dy, iz + dz
+                mask = (
+                    (jx >= 0) & (jx < nx) & (jy >= 0) & (jy < nx) & (jz >= 0) & (jz < nx)
+                )
+                j = jx + nx * (jy + nx * jz)
+                rows.append(idx[mask])
+                cols.append(j[mask])
+                if dx == 0 and dy == 0 and dz == 0:
+                    vals.append(np.full(mask.sum(), 26.0))
+                else:
+                    vals.append(np.full(mask.sum(), -1.0))
+    A = sp.csr_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(n, n),
+    )
+    return A
+
+
+def symgs_sweep(A: sp.csr_matrix, x: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """One symmetric Gauss-Seidel sweep (forward + backward), the HPCG
+    preconditioner. Implemented via triangular solves."""
+    L = sp.tril(A, format="csr")
+    U = sp.triu(A, format="csr")
+    D = A.diagonal()
+    # Forward: (D + L_strict) x = b - U_strict x
+    Us = U - sp.diags(D)
+    x = spla.spsolve_triangular(L.tocsr(), b - Us @ x, lower=True)
+    # Backward: (D + U_strict) x = b - L_strict x
+    Ls = L - sp.diags(D)
+    x = spla.spsolve_triangular(U.tocsr(), b - Ls @ x, lower=False)
+    return x
+
+
+def hpcg_reference(nx: int = 8, iterations: int = 25, seed: int = 0):
+    """Preconditioned CG on the 27-point operator; returns (residuals,
+    flop estimate). Residuals must be monotonically non-increasing-ish
+    and end well below the start for a correct implementation."""
+    A = hpcg_matrix(nx)
+    n = A.shape[0]
+    rng = np.random.default_rng(seed)
+    x_exact = rng.standard_normal(n)
+    b = A @ x_exact
+    x = np.zeros(n)
+    r = b - A @ x
+    z = symgs_sweep(A, np.zeros(n), r)
+    p = z.copy()
+    rz = r @ z
+    residuals = [float(np.linalg.norm(r))]
+    for _ in range(iterations):
+        Ap = A @ p
+        alpha = rz / (p @ Ap)
+        x += alpha * p
+        r -= alpha * Ap
+        residuals.append(float(np.linalg.norm(r)))
+        if residuals[-1] / residuals[0] < 1e-10:
+            break
+        z = symgs_sweep(A, np.zeros(n), r)
+        rz_new = r @ z
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+    flops = 2.0 * A.nnz * 3 * len(residuals)
+    return residuals, flops
+
+
+# ---------------------------------------------------------------------------
+# NPB EP: Marsaglia polar method Gaussian pairs
+# ---------------------------------------------------------------------------
+
+def ep_reference(m: int = 18, seed: int = 271828183) -> Tuple[int, np.ndarray]:
+    """Generate 2^m uniform pairs, accept those inside the unit circle,
+    transform to Gaussians, count pairs per concentric square annulus —
+    the structure of NPB's EP. Returns (accepted pairs, counts[10])."""
+    n = 1 << m
+    rng = np.random.default_rng(seed)
+    x = 2.0 * rng.random(n) - 1.0
+    y = 2.0 * rng.random(n) - 1.0
+    t = x * x + y * y
+    mask = (t <= 1.0) & (t > 0.0)
+    t = t[mask]
+    factor = np.sqrt(-2.0 * np.log(t) / t)
+    gx = x[mask] * factor
+    gy = y[mask] * factor
+    maxima = np.maximum(np.abs(gx), np.abs(gy))
+    counts, _ = np.histogram(np.minimum(maxima.astype(int), 9), bins=range(11))
+    return int(mask.sum()), counts
+
+
+# ---------------------------------------------------------------------------
+# NPB CG: power iteration with CG inner solves
+# ---------------------------------------------------------------------------
+
+def cg_solve(A: sp.csr_matrix, b: np.ndarray, iters: int = 25) -> np.ndarray:
+    """Plain conjugate gradient (the NPB CG inner kernel)."""
+    x = np.zeros_like(b)
+    r = b - A @ x
+    p = r.copy()
+    rr = r @ r
+    for _ in range(iters):
+        Ap = A @ p
+        alpha = rr / (p @ Ap)
+        x += alpha * p
+        r -= alpha * Ap
+        rr_new = r @ r
+        if rr_new < 1e-28:
+            break
+        p = r + (rr_new / rr) * p
+        rr = rr_new
+    return x
+
+
+def npb_cg_reference(n: int = 400, density: float = 0.02, shift: float = 20.0,
+                     outer: int = 10, seed: int = 7) -> List[float]:
+    """NPB CG structure: estimate the largest eigenvalue of a random SPD
+    sparse matrix via inverse power iteration on (shift*I - ...); returns
+    the sequence of eigenvalue estimates (should converge)."""
+    rng = np.random.default_rng(seed)
+    R = sp.random(n, n, density=density, random_state=rng, format="csr")
+    A = R @ R.T + sp.identity(n) * shift  # SPD, well-conditioned
+    x = np.ones(n)
+    estimates = []
+    for _ in range(outer):
+        z = cg_solve(A, x, iters=30)
+        zeta = shift + 1.0 / (x @ z)
+        estimates.append(float(zeta))
+        x = z / np.linalg.norm(z)
+    return estimates
+
+
+# ---------------------------------------------------------------------------
+# NPB LU: SSOR relaxation
+# ---------------------------------------------------------------------------
+
+def lu_ssor_reference(n: int = 32, sweeps: int = 30, omega: float = 1.2,
+                      seed: int = 3) -> List[float]:
+    """SSOR iteration on a 2D 5-point Poisson system (the relaxation at
+    LU's core); returns residual norms, which must decrease."""
+    N = n * n
+    main = np.full(N, 4.0)
+    off = np.full(N - 1, -1.0)
+    off[np.arange(1, N) % n == 0] = 0.0
+    offn = np.full(N - n, -1.0)
+    A = sp.diags([main, off, off, offn, offn], [0, -1, 1, -n, n], format="csr")
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal(N)
+    x = np.zeros(N)
+    D = sp.diags(A.diagonal())
+    L = sp.tril(A, k=-1, format="csr")
+    U = sp.triu(A, k=1, format="csr")
+    residuals = [float(np.linalg.norm(b))]
+    M1 = (D / omega + L).tocsr()
+    M2 = (D / omega + U).tocsr()
+    for _ in range(sweeps):
+        # x <- x + M2^{-1} D/ (2-w)/w... standard SSOR update split:
+        r = b - A @ x
+        y = spla.spsolve_triangular(M1, r, lower=True)
+        y = (D / omega * (2.0 - omega) / 1.0) @ y  # scale between sweeps
+        dx = spla.spsolve_triangular(M2, y, lower=False)
+        x = x + dx
+        residuals.append(float(np.linalg.norm(b - A @ x)))
+    return residuals
+
+
+# ---------------------------------------------------------------------------
+# NPB BT/SP: ADI line solves (Thomas algorithm)
+# ---------------------------------------------------------------------------
+
+def thomas_solve(lower: np.ndarray, diag: np.ndarray, upper: np.ndarray,
+                 rhs: np.ndarray) -> np.ndarray:
+    """Vectorized Thomas algorithm for batched tridiagonal systems.
+
+    Shapes: (batch, n) each; `lower[:,0]` and `upper[:,-1]` are ignored.
+    This is the line-solve at the heart of BT/SP's ADI sweeps.
+    """
+    b, n = diag.shape
+    c_ = np.zeros_like(diag)
+    d_ = np.zeros_like(diag)
+    c_[:, 0] = upper[:, 0] / diag[:, 0]
+    d_[:, 0] = rhs[:, 0] / diag[:, 0]
+    for i in range(1, n):
+        m = diag[:, i] - lower[:, i] * c_[:, i - 1]
+        c_[:, i] = upper[:, i] / m
+        d_[:, i] = (rhs[:, i] - lower[:, i] * d_[:, i - 1]) / m
+    x = np.zeros_like(diag)
+    x[:, -1] = d_[:, -1]
+    for i in range(n - 2, -1, -1):
+        x[:, i] = d_[:, i] - c_[:, i] * x[:, i + 1]
+    return x
+
+
+def ft_reference(n: int = 32, steps: int = 4, seed: int = 5) -> float:
+    """NPB FT structure: evolve a 3D field in Fourier space.
+
+    Forward FFT once, multiply by per-step exponential damping factors,
+    inverse FFT each step, and checksum. Returns the max roundtrip error
+    of FFT/IFFT (0-step evolution must reproduce the input), validating
+    the transform machinery.
+    """
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal((n, n, n)) + 1j * rng.standard_normal((n, n, n))
+    U = np.fft.fftn(u)
+    # Damping operator (like NPB's exp(-4 pi^2 alpha t |k|^2) table).
+    k = np.fft.fftfreq(n)
+    k2 = (
+        k[:, None, None] ** 2 + k[None, :, None] ** 2 + k[None, None, :] ** 2
+    )
+    for step in range(1, steps + 1):
+        _ = np.fft.ifftn(U * np.exp(-1e-2 * step * k2))
+    roundtrip = np.fft.ifftn(U)
+    return float(np.abs(roundtrip - u).max())
+
+
+def mg_vcycle_reference(n: int = 32, cycles: int = 6, seed: int = 9) -> List[float]:
+    """NPB MG structure: V-cycles of weighted-Jacobi smoothing with
+    full-weighting restriction and linear prolongation on a 2D Poisson
+    problem. Returns residual norms, which must decrease geometrically
+    (far faster than plain relaxation)."""
+    import scipy.sparse as sp
+
+    def poisson(m):
+        main = np.full(m * m, 4.0)
+        off = np.full(m * m - 1, -1.0)
+        off[np.arange(1, m * m) % m == 0] = 0.0
+        offn = np.full(m * m - m, -1.0)
+        return sp.diags([main, off, off, offn, offn], [0, -1, 1, -m, m], format="csr")
+
+    def smooth(A, x, b, sweeps=2, omega=0.8):
+        Dinv = 1.0 / A.diagonal()
+        for _ in range(sweeps):
+            x = x + omega * Dinv * (b - A @ x)
+        return x
+
+    def restrict(r, m):
+        R = r.reshape(m, m)
+        c = m // 2
+        return R.reshape(c, 2, c, 2).mean(axis=(1, 3)).ravel()
+
+    def prolong(e, m):
+        c = m // 2
+        E = e.reshape(c, c)
+        out = np.repeat(np.repeat(E, 2, axis=0), 2, axis=1)
+        return out.ravel()
+
+    def vcycle(m, x, b):
+        A = poisson(m)
+        x = smooth(A, x, b, sweeps=3)
+        if m >= 8:
+            r = b - A @ x
+            # The h-free 5-point stencil scales as h^2 * Laplacian, so the
+            # coarse (2h) system needs the restricted residual scaled by 4.
+            ec = vcycle(m // 2, np.zeros((m // 2) ** 2), 4.0 * restrict(r, m))
+            x = x + prolong(ec, m)
+        x = smooth(A, x, b, sweeps=3)
+        return x
+
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal(n * n)
+    A = poisson(n)
+    x = np.zeros(n * n)
+    residuals = [float(np.linalg.norm(b))]
+    for _ in range(cycles):
+        x = vcycle(n, x, b)
+        residuals.append(float(np.linalg.norm(b - A @ x)))
+    return residuals
+
+
+def is_reference(n_keys: int = 1 << 16, max_key: int = 1 << 11,
+                 seed: int = 13) -> bool:
+    """NPB IS structure: bucket-sort ranking of random integer keys.
+    Returns True when the computed ranking is a correct sort."""
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, max_key, size=n_keys)
+    counts = np.bincount(keys, minlength=max_key)
+    ranks = np.cumsum(counts) - counts  # rank of each key value
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    # Verification: ranks place keys in non-decreasing order, and the
+    # rank of the first occurrence of value v equals count of keys < v.
+    ok = bool(np.all(np.diff(sorted_keys) >= 0))
+    probe = rng.integers(0, max_key, size=64)
+    ok &= all(int(ranks[v]) == int((keys < v).sum()) for v in probe)
+    return ok
+
+
+def adi_reference(n: int = 24, steps: int = 5, dt: float = 0.1,
+                  seed: int = 11) -> List[float]:
+    """ADI time-stepping of 2D diffusion (BT/SP structure: alternating
+    implicit line solves in x then y). Returns the solution energy per
+    step, which must decay monotonically for pure diffusion."""
+    rng = np.random.default_rng(seed)
+    u = rng.random((n, n))
+    lam = dt * (n + 1) ** 2 / 2.0
+    lower = np.full((n, n), -lam)
+    diag = np.full((n, n), 1.0 + 2.0 * lam)
+    upper = np.full((n, n), -lam)
+    energies = [float((u**2).sum())]
+    for _ in range(steps):
+        u = thomas_solve(lower, diag, upper, u)        # x-direction lines
+        u = thomas_solve(lower, diag, upper, u.T).T    # y-direction lines
+        energies.append(float((u**2).sum()))
+    return energies

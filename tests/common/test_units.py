@@ -1,0 +1,91 @@
+"""Unit conversion correctness and round-trip properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import units
+
+
+def test_basic_constants():
+    assert units.PS_PER_NS == 1_000
+    assert units.PS_PER_US == 1_000_000
+    assert units.PS_PER_MS == 1_000_000_000
+    assert units.PS_PER_S == 1_000_000_000_000
+
+
+def test_ns_us_ms_seconds():
+    assert units.ns(1) == 1_000
+    assert units.us(1) == 1_000_000
+    assert units.ms(1) == 1_000_000_000
+    assert units.seconds(1) == 1_000_000_000_000
+    assert units.ns(0.5) == 500
+    assert units.seconds(2.5) == 2_500_000_000_000
+
+
+def test_to_conversions():
+    assert units.to_seconds(units.seconds(3)) == 3.0
+    assert units.to_ns(units.ns(7)) == 7.0
+    assert units.to_us(units.us(9)) == 9.0
+    assert units.to_ms(units.ms(11)) == 11.0
+
+
+def test_hz_to_period():
+    assert units.hz_to_period_ps(1) == units.seconds(1)
+    assert units.hz_to_period_ps(1000) == units.ms(1)
+    assert units.hz_to_period_ps(250) == units.ms(4)
+
+
+def test_hz_to_period_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.hz_to_period_ps(0)
+    with pytest.raises(ValueError):
+        units.hz_to_period_ps(-5)
+
+
+def test_cycles_roundtrip_at_pine_freq():
+    freq = 1.152e9
+    one_cycle = units.cycles_to_ps(1, freq)
+    assert one_cycle == 868  # 1/1.152GHz = 868.05 ps
+    # Round trip a large cycle count with small relative error.
+    n = 10_000_000
+    t = units.cycles_to_ps(n, freq)
+    back = units.ps_to_cycles(t, freq)
+    assert abs(back - n) / n < 1e-6
+
+
+def test_cycles_rejects_nonpositive_freq():
+    with pytest.raises(ValueError):
+        units.cycles_to_ps(10, 0)
+
+
+def test_cycles_never_negative():
+    assert units.cycles_to_ps(0, 1e9) == 0
+
+
+def test_size_constants():
+    assert units.KiB == 1024
+    assert units.MiB == 1024**2
+    assert units.GiB == 1024**3
+
+
+@given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+def test_seconds_monotonic(x):
+    assert units.seconds(x) <= units.seconds(x + 1.0)
+
+
+@given(st.integers(min_value=1, max_value=10**9))
+def test_hz_period_inverse(hz):
+    period = units.hz_to_period_ps(hz)
+    assert period >= 1
+    # period * hz ~= 1 second (within rounding of 1 period)
+    assert abs(period * hz - units.PS_PER_S) <= hz
+
+
+@given(
+    st.integers(min_value=0, max_value=10**12),
+    st.sampled_from([1.0e9, 1.152e9, 2.4e9]),
+)
+def test_ps_cycles_roundtrip(t_ps, freq):
+    cycles = units.ps_to_cycles(t_ps, freq)
+    back = units.cycles_to_ps(cycles, freq)
+    assert abs(back - t_ps) <= 1

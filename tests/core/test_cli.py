@@ -1,0 +1,46 @@
+"""CLI surface: every command parses and the fast ones run end-to-end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_has_all_commands():
+    parser = build_parser()
+    subparsers = next(
+        a for a in parser._actions if a.dest == "command"
+    )
+    assert set(subparsers.choices) == {
+        "selfish",
+        "memory",
+        "npb",
+        "irq-routing",
+        "interference",
+        "boot",
+        "campaign",
+    }
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_boot_command_runs(capsys):
+    assert main(["--seed", "3", "boot"]) == 0
+    out = capsys.readouterr().out
+    assert "measured boot chain" in out
+    assert "attestation quote" in out
+    assert "compute" in out
+
+
+def test_selfish_command_runs(capsys):
+    assert main(["selfish", "--duration", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "Selfish Detour" in out
+    assert "Native" in out and "Linux" in out
+
+
+def test_seed_is_global_flag():
+    args = build_parser().parse_args(["--seed", "7", "boot"])
+    assert args.seed == 7

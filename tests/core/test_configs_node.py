@@ -1,0 +1,109 @@
+"""Configuration builders and node plumbing."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.units import seconds
+from repro.core.configs import (
+    ALL_CONFIGS,
+    CONFIG_HAFNIUM_KITTEN,
+    CONFIG_HAFNIUM_LINUX,
+    CONFIG_NATIVE,
+    PAPER_LABELS,
+    build_hafnium_node,
+    build_node,
+)
+from repro.core.node import Node, run_until_done
+from repro.hw.mmu import BLOCK_2M
+from repro.hw.soc import QEMU_VIRT
+from repro.kernels.phases import ComputePhase
+from repro.kernels.thread import Thread
+
+
+def test_config_names_and_labels():
+    assert set(ALL_CONFIGS) == {
+        CONFIG_NATIVE,
+        CONFIG_HAFNIUM_KITTEN,
+        CONFIG_HAFNIUM_LINUX,
+    }
+    assert PAPER_LABELS[CONFIG_NATIVE] == "Native"
+    assert PAPER_LABELS[CONFIG_HAFNIUM_KITTEN] == "Kitten"
+    assert PAPER_LABELS[CONFIG_HAFNIUM_LINUX] == "Linux"
+
+
+def test_unknown_config_rejected():
+    with pytest.raises(ConfigurationError):
+        build_node("xen")
+    with pytest.raises(ConfigurationError):
+        build_hafnium_node(scheduler="vmware")
+
+
+def test_native_node_shape():
+    node = build_node(CONFIG_NATIVE, seed=1)
+    assert node.spm is None
+    assert node.workload_kernel.role == "native"
+    assert node.boot_chain.completed
+
+
+def test_hafnium_nodes_shape():
+    for cfg, primary_kind in [
+        (CONFIG_HAFNIUM_KITTEN, "kitten"),
+        (CONFIG_HAFNIUM_LINUX, "linux"),
+    ]:
+        node = build_node(cfg, seed=1)
+        assert node.spm is not None
+        assert node.workload_kernel.is_guest
+        assert node.kernels["primary"].KERNEL_KIND == primary_kind
+        assert node.workload_kernel.KERNEL_KIND == "kitten"  # guest is Kitten
+
+
+def test_secure_compute_vm_marks_trustzone():
+    node = build_node(CONFIG_HAFNIUM_KITTEN, seed=1, secure_compute_vm=True)
+    vm = node.spm.vm_by_name("compute")
+    assert vm.secure
+    assert node.machine.trustzone.is_secure(vm.memory.base)
+
+
+def test_stage2_block_option():
+    node = build_node(CONFIG_HAFNIUM_KITTEN, seed=1, stage2_block=BLOCK_2M)
+    guest = node.workload_kernel
+    assert guest.trans.s2_depth == 2
+    assert guest.trans.page_size == 2 * 1024 * 1024
+
+
+def test_alternate_soc():
+    node = build_node(CONFIG_HAFNIUM_KITTEN, seed=1, soc=QEMU_VIRT)
+    assert node.machine.soc.name == "qemu-virt"
+    assert len(node.spm.vm_by_name("compute").vcpus) == QEMU_VIRT.num_cores
+
+
+def test_primary_tick_override():
+    node = build_node(CONFIG_HAFNIUM_LINUX, seed=1, primary_tick_hz=100.0)
+    assert node.kernels["primary"].tick_hz == 100.0
+
+
+def test_spawn_without_workload_kernel():
+    from repro.hw.machine import Machine
+
+    node = Node(Machine())
+    with pytest.raises(SimulationError):
+        node.spawn_workload_threads([Thread("t", iter(()))])
+
+
+def test_run_until_done_timeout_names_stuck_threads():
+    node = build_node(CONFIG_NATIVE, seed=1)
+    # A thread that never finishes within the budget.
+    t = Thread("stuck", iter([ComputePhase(1e18)]), cpu=0)
+    node.spawn_workload_threads([t])
+    with pytest.raises(SimulationError, match="stuck"):
+        run_until_done(node, [t], max_seconds=0.05)
+
+
+def test_secure_vm_runs_workload():
+    """A TrustZone-placed compute VM still executes (world switches on
+    its entry/exit paths)."""
+    node = build_node(CONFIG_HAFNIUM_KITTEN, seed=1, secure_compute_vm=True)
+    t = Thread("w", iter([ComputePhase(1e7)]), cpu=0, aspace="b")
+    node.spawn_workload_threads([t])
+    end = run_until_done(node, [t], max_seconds=5)
+    assert end > 0

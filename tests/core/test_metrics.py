@@ -1,0 +1,75 @@
+"""Statistics containers for the experiment harness."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import (
+    Aggregate,
+    TrialResult,
+    aggregate,
+    normalize_to,
+    within_noise,
+)
+
+
+def trial(value, config="native", bench="b", n=0):
+    return TrialResult(config, bench, n, value, "u", 1.0)
+
+
+def test_aggregate_mean_std():
+    agg = aggregate([trial(1.0, n=0), trial(2.0, n=1), trial(3.0, n=2)])
+    assert agg.mean == 2.0
+    assert agg.stdev == pytest.approx(1.0)
+    assert agg.n == 3
+    assert agg.cv == pytest.approx(0.5)
+
+
+def test_aggregate_single_trial_has_zero_stdev():
+    agg = aggregate([trial(5.0)])
+    assert agg.stdev == 0.0
+
+
+def test_aggregate_rejects_empty_and_mixed():
+    with pytest.raises(ValueError):
+        aggregate([])
+    with pytest.raises(ValueError):
+        aggregate([trial(1.0, config="a"), trial(1.0, config="b")])
+
+
+def test_normalize_to():
+    aggs = {
+        "native": aggregate([trial(10.0)]),
+        "virt": aggregate([trial(9.0, config="virt")]),
+    }
+    norm = normalize_to(aggs, "native")
+    assert norm == {"native": 1.0, "virt": 0.9}
+
+
+def test_normalize_zero_baseline():
+    aggs = {"native": aggregate([trial(0.0)])}
+    with pytest.raises(ValueError):
+        normalize_to(aggs, "native")
+
+
+def test_within_noise():
+    a = Aggregate("a", "b", "u", mean=10.0, stdev=0.5, n=3)
+    b = Aggregate("b", "b", "u", mean=10.4, stdev=0.1, n=3)
+    assert within_noise(a, b)           # |0.4| <= 0.5
+    c = Aggregate("c", "b", "u", mean=11.1, stdev=0.1, n=3)
+    assert not within_noise(a, c)
+    assert within_noise(a, c, sigmas=3)
+
+
+def test_within_noise_zero_spread():
+    a = Aggregate("a", "b", "u", mean=10.0, stdev=0.0, n=1)
+    b = Aggregate("b", "b", "u", mean=10.0, stdev=0.0, n=1)
+    assert within_noise(a, b)
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=2, max_size=20))
+def test_property_mean_bounded_by_extremes(values):
+    trials = [trial(v, n=i) for i, v in enumerate(values)]
+    agg = aggregate(trials)
+    eps = 1e-9 * max(values)
+    assert min(values) - eps <= agg.mean <= max(values) + eps
+    assert agg.values == values

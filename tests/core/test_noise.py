@@ -1,0 +1,108 @@
+"""Noise-analysis utilities + structural checks on real profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiments import run_selfish_profiles
+from repro.core.noise import NoiseAnalysis, compare_configs, from_profile
+
+
+def synthetic_periodic(period_us=1000.0, n=50, lat=2.0):
+    times = np.arange(1, n + 1) * period_us
+    lats = np.full(n, lat)
+    return NoiseAnalysis(times, lats, window_s=n * period_us * 1e-6)
+
+
+def synthetic_random(seed=0, n=300, window_s=1.0):
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.uniform(0, window_s * 1e6, n))
+    lats = rng.lognormal(2.0, 1.0, n)
+    return NoiseAnalysis(times, lats, window_s)
+
+
+class TestScalarStats:
+    def test_rate_and_power(self):
+        a = synthetic_periodic(period_us=1000.0, n=100, lat=10.0)
+        assert a.rate_hz == pytest.approx(1000.0)
+        assert a.stolen_fraction == pytest.approx(0.01)  # 10us per 1ms
+
+    def test_percentiles(self):
+        a = synthetic_random()
+        pct = a.latency_percentiles()
+        assert pct[50] <= pct[90] <= pct[99] <= pct[100]
+
+    def test_empty_trace(self):
+        a = NoiseAnalysis([], [], 1.0)
+        assert a.count == 0
+        assert a.rate_hz == 0.0
+        assert a.stolen_fraction == 0.0
+        assert a.interarrival_cv == 0.0
+        assert a.dominant_period() is None
+        assert not a.is_periodic()
+        s = a.summary()
+        assert s["count"] == 0.0
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            NoiseAnalysis([1, 2], [1], 1.0)
+
+
+class TestPeriodDetection:
+    def test_pure_comb_detected(self):
+        a = synthetic_periodic(period_us=4000.0)
+        est = a.dominant_period()
+        assert est is not None
+        assert est.period_us == pytest.approx(4000.0, rel=0.01)
+        assert est.strength > 0.95
+        assert a.is_periodic()
+
+    def test_random_not_periodic(self):
+        a = synthetic_random()
+        assert not a.is_periodic()
+        assert a.interarrival_cv > 0.5
+
+    def test_comb_plus_outliers_still_periodic(self):
+        base = synthetic_periodic(period_us=1000.0, n=90)
+        rng = np.random.default_rng(1)
+        extra = np.sort(rng.uniform(0, 90_000, 8))
+        times = np.sort(np.concatenate([base.times, extra]))
+        a = NoiseAnalysis(times, np.full(len(times), 2.0), 0.09)
+        assert a.is_periodic(min_strength=0.5)
+
+    def test_latency_histogram(self):
+        a = synthetic_random()
+        counts, edges = a.latency_histogram(bins=10)
+        assert counts.sum() == a.count
+        assert len(edges) == 11
+
+
+class TestOnRealProfiles:
+    @pytest.fixture(scope="class")
+    def analyses(self):
+        profiles = run_selfish_profiles(duration_s=1.0, seed=19)
+        return {name: from_profile(p) for name, p in profiles.items()}
+
+    def test_native_and_kitten_are_periodic(self, analyses):
+        assert analyses["native"].is_periodic()
+        # The Kitten-VM profile is two interleaved combs; the dominant one
+        # still explains about half the gaps.
+        est = analyses["hafnium-kitten"].dominant_period()
+        assert est is not None and est.strength >= 0.4
+
+    def test_linux_tick_comb_plus_random_component(self, analyses):
+        """Linux noise decomposes into the 250 Hz tick comb plus a
+        substantial random component (the competing threads)."""
+        a = analyses["hafnium-linux"]
+        est = a.dominant_period()
+        assert est is not None
+        assert est.period_us == pytest.approx(4000.0, rel=0.05)  # 250 Hz
+        assert est.strength < 0.9  # the random part breaks the comb
+        # Long-tail latencies the periodic configs never show.
+        assert a.latency_percentiles()[100] > 10 * (
+            analyses["hafnium-kitten"].latency_percentiles()[100]
+        )
+
+    def test_noise_power_ordering(self, analyses):
+        order = [name for name, _ in compare_configs(analyses)]
+        assert order[0] == "native"
+        assert order[-1] == "hafnium-linux"

@@ -1,0 +1,84 @@
+"""Timeline reconstruction from scheduler traces."""
+
+import pytest
+
+from repro.common.units import ms, seconds
+from repro.core.configs import CONFIG_HAFNIUM_LINUX, CONFIG_NATIVE, build_node
+from repro.core.node import run_until_done
+from repro.core.timeline import Interval, Timeline
+from repro.kernels.phases import ComputePhase
+from repro.kernels.thread import Thread
+from repro.sim.trace import Tracer
+
+
+class TestFromSyntheticTrace:
+    def make_tracer(self):
+        tr = Tracer()
+        tr.emit(0, "sched.switch", "k.cpu0", prev="-", next="a")
+        tr.emit(ms(10), "sched.switch", "k.cpu0", prev="a", next="b")
+        tr.emit(ms(30), "sched.switch", "k.cpu0", prev="b", next="a")
+        tr.emit(ms(5), "sched.switch", "k.cpu1", prev="-", next="c")
+        return tr
+
+    def test_intervals(self):
+        tl = Timeline.from_tracer(self.make_tracer(), horizon_ps=ms(40))
+        iv = tl.intervals("k.cpu0")
+        assert [i.thread for i in iv] == ["a", "b", "a"]
+        assert iv[0].start_ps == 0 and iv[0].end_ps == ms(10)
+        assert iv[2].end_ps is None  # open at trace end
+        assert tl.switch_count("k.cpu0") == 2
+
+    def test_busy_and_share(self):
+        tl = Timeline.from_tracer(self.make_tracer(), horizon_ps=ms(40))
+        assert tl.busy_ps("k.cpu0", "a") == ms(10) + ms(10)
+        assert tl.busy_ps("k.cpu0", "b") == ms(20)
+        assert tl.share("k.cpu0", "a") == pytest.approx(0.5)
+
+    def test_kernel_filter(self):
+        tr = self.make_tracer()
+        tr.emit(0, "sched.switch", "other.cpu0", prev="-", next="x")
+        tl = Timeline.from_tracer(tr, kernel="k")
+        assert tl.cpus() == ["k.cpu0", "k.cpu1"]
+
+    def test_render(self):
+        tl = Timeline.from_tracer(self.make_tracer(), horizon_ps=ms(40))
+        text = tl.render(width=40)
+        assert "k.cpu0" in text
+        assert "A=a" in text and "B=b" in text
+
+    def test_empty(self):
+        tl = Timeline.from_tracer(Tracer())
+        assert tl.cpus() == []
+        assert tl.share("nope", "x") == 0.0
+
+
+class TestOnRealRuns:
+    def test_native_two_thread_sharing(self):
+        node = build_node(CONFIG_NATIVE, seed=22)
+        ops = 0.3 * node.machine.soc.ipc * node.machine.soc.freq_hz
+        a = Thread("a", iter([ComputePhase(ops)]), cpu=0)
+        b = Thread("b", iter([ComputePhase(ops)]), cpu=0)
+        node.spawn_workload_threads([a, b])
+        run_until_done(node, [a, b], max_seconds=5)
+        tl = Timeline.from_tracer(node.machine.tracer, kernel="kitten-native")
+        cpu0 = "kitten-native.cpu0"
+        # Round-robin shared the core roughly evenly.
+        assert tl.share(cpu0, "a") == pytest.approx(0.5, abs=0.1)
+        # Kitten's 100 ms quantum: ~6 switches for 0.6 s of work.
+        assert 3 <= tl.switch_count(cpu0) <= 12
+
+    def test_linux_vcpu_share_dominates_but_not_exclusive(self):
+        node = build_node(CONFIG_HAFNIUM_LINUX, seed=22)
+        ops = 0.5 * node.machine.soc.ipc * node.machine.soc.freq_hz
+        t = Thread("w", iter([ComputePhase(ops)]), cpu=0, aspace="b")
+        node.spawn_workload_threads([t])
+        run_until_done(node, [t], max_seconds=5)
+        tl = Timeline.from_tracer(node.machine.tracer, kernel="linux-primary")
+        cpu0 = "linux-primary.cpu0"
+        share = tl.share(cpu0, "vcpu.compute.0")
+        assert share > 0.9           # the VCPU thread dominates...
+        assert share < 1.0           # ...but kworkers did run
+        assert any(
+            name.startswith(("kworker", "ksoftirqd"))
+            for name in tl.threads_seen(cpu0)
+        )

@@ -1,0 +1,151 @@
+"""Dynamic partition management (Section VII extension)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SecurityViolation
+from repro.common.units import MiB, seconds
+from repro.core.configs import CONFIG_HAFNIUM_KITTEN, build_node
+from repro.core.node import run_until_done
+from repro.hafnium.dynamic import DynamicVmManager
+from repro.hafnium.vm import VcpuState
+from repro.kernels.phases import ComputePhase
+from repro.kernels.thread import Thread
+from repro.kitten.kernel import KittenKernel
+from repro.tee.attestation import SignedImage, SigningAuthority
+
+
+def kitten_factory(machine, spec, role):
+    return KittenKernel(machine, f"kitten-{spec.name}", role=role, num_cpus=spec.vcpus)
+
+
+@pytest.fixture
+def node():
+    return build_node(CONFIG_HAFNIUM_KITTEN, seed=6, compute_vm_mem=256 * MiB)
+
+
+@pytest.fixture
+def manager(node):
+    return DynamicVmManager(
+        node.spm, 512 * MiB, node.boot_chain.embedded_key
+    )
+
+
+def signed(name, authority=None, data=b"kitten:dynamic"):
+    auth = authority or SigningAuthority("vendor")
+    return SignedImage.create(name, data, auth)
+
+
+class TestCreate:
+    def test_create_verified_vm(self, node, manager):
+        img = signed("burst", node.boot_chain.authority)
+        vm = manager.create_vm(
+            img, vcpus=2, memory_bytes=64 * MiB, kernel_factory=kitten_factory
+        )
+        assert vm.vm_id >= 100
+        assert node.spm.vm_by_name("burst") is vm
+        assert vm.kernel.is_guest
+        assert vm.boot_measurement is not None
+        # Its partition lives inside the pool and is stage-2 mapped.
+        assert manager.pool.owns(vm.memory.base)
+        vm.stage2.translate(vm.memory.base)
+
+    def test_unsigned_or_forged_image_rejected_without_allocation(
+        self, node, manager
+    ):
+        mallory = SigningAuthority("mallory", secret=b"evil")
+        img = signed("rogue", mallory)
+        free_before = manager.pool.free_bytes
+        with pytest.raises(SecurityViolation):
+            manager.create_vm(
+                img, vcpus=1, memory_bytes=32 * MiB, kernel_factory=kitten_factory
+            )
+        assert manager.pool.free_bytes == free_before
+        assert "rogue" not in manager.created
+
+    def test_duplicate_name_rejected(self, node, manager):
+        img = signed("burst", node.boot_chain.authority)
+        manager.create_vm(
+            img, vcpus=1, memory_bytes=32 * MiB, kernel_factory=kitten_factory
+        )
+        with pytest.raises(ConfigurationError, match="already in use"):
+            manager.create_vm(
+                img, vcpus=1, memory_bytes=32 * MiB, kernel_factory=kitten_factory
+            )
+
+    def test_static_name_collision_rejected(self, node, manager):
+        img = signed("compute", node.boot_chain.authority)
+        with pytest.raises(ConfigurationError):
+            manager.create_vm(
+                img, vcpus=1, memory_bytes=32 * MiB, kernel_factory=kitten_factory
+            )
+
+    def test_secure_vm_requires_secure_pool(self, node, manager):
+        img = signed("sec", node.boot_chain.authority)
+        with pytest.raises(SecurityViolation, match="secure-world pool"):
+            manager.create_vm(
+                img, vcpus=1, memory_bytes=32 * MiB,
+                kernel_factory=kitten_factory, secure=True,
+            )
+
+    def test_secure_pool_after_lock_rejected(self, node):
+        # The boot chain already locked the TZASC.
+        with pytest.raises(SecurityViolation, match="locked"):
+            DynamicVmManager(
+                node.spm, 64 * MiB, node.boot_chain.embedded_key,
+                secure_pool=True,
+            )
+
+
+class TestRunAndDestroy:
+    def test_dynamic_vm_runs_workload(self, node, manager):
+        from repro.kitten.control import JobSpec
+
+        img = signed("burst", node.boot_chain.authority)
+        vm = manager.create_vm(
+            img, vcpus=2, memory_bytes=64 * MiB, kernel_factory=kitten_factory
+        )
+        node.control_task.submit(
+            JobSpec("launch", "burst", vcpu_cpus=[1, 2])
+        )
+        t = Thread("w", iter([ComputePhase(1e7)]), cpu=0, aspace="d")
+        vm.kernel.spawn(t)
+        run_until_done(node, [t], max_seconds=5)
+        assert vm.vcpus[0].runs > 0
+
+    def test_destroy_scrubs_and_reclaims(self, node, manager):
+        img = signed("burst", node.boot_chain.authority)
+        vm = manager.create_vm(
+            img, vcpus=1, memory_bytes=64 * MiB, kernel_factory=kitten_factory
+        )
+        # Tenant writes a secret into its memory.
+        node.machine.memmap.write_word(vm.memory.base + 0x100, 0x5EC12E7)
+        free_before = manager.pool.free_bytes
+        manager.destroy_vm("burst")
+        assert manager.pool.free_bytes == free_before + 64 * MiB
+        assert node.machine.memmap.read_word(vm.memory.base + 0x100) == 0
+        assert manager.scrubbed_bytes == 64 * MiB
+        assert "burst" not in node.spm._by_name
+        # The ID namespace is clean: the name can be reused.
+        manager.create_vm(
+            signed("burst", node.boot_chain.authority),
+            vcpus=1, memory_bytes=32 * MiB, kernel_factory=kitten_factory,
+        )
+
+    def test_destroy_unknown_rejected(self, manager):
+        with pytest.raises(ConfigurationError, match="not a dynamic"):
+            manager.destroy_vm("compute")
+
+    def test_destroy_resident_vcpu_rejected(self, node, manager):
+        from repro.kitten.control import JobSpec
+
+        img = signed("busy", node.boot_chain.authority)
+        vm = manager.create_vm(
+            img, vcpus=1, memory_bytes=32 * MiB, kernel_factory=kitten_factory
+        )
+        node.control_task.submit(JobSpec("launch", "busy", vcpu_cpus=[3]))
+        t = Thread("spin", iter([ComputePhase(1e12)]), cpu=0, aspace="d")
+        vm.kernel.spawn(t)
+        node.engine.run_until(node.engine.now + seconds(0.2))
+        assert vm.vcpus[0].state == VcpuState.RUNNING
+        with pytest.raises(ConfigurationError, match="resident"):
+            manager.destroy_vm("busy")

@@ -1,0 +1,78 @@
+"""Manifest validation rules."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MiB
+from repro.hafnium.manifest import Manifest, PartitionSpec, VmRole
+
+
+def kf(machine, spec, role):  # dummy kernel factory
+    return None
+
+
+def spec(name, role, vcpus=1, mem=64 * MiB, **kw):
+    return PartitionSpec(name, role, vcpus, mem, kernel_factory=kf, **kw)
+
+
+def test_valid_manifest():
+    m = Manifest(
+        [
+            spec("primary", VmRole.PRIMARY, 4),
+            spec("login", VmRole.SUPER_SECONDARY),
+            spec("compute", VmRole.SECONDARY, 4),
+        ]
+    )
+    assert m.primary.name == "primary"
+    assert m.super_secondary.name == "login"
+    assert [p.name for p in m.secondaries] == ["compute"]
+    assert m.by_name("compute").vcpus == 4
+    with pytest.raises(KeyError):
+        m.by_name("ghost")
+
+
+def test_exactly_one_primary_required():
+    with pytest.raises(ConfigurationError, match="exactly one primary"):
+        Manifest([spec("a", VmRole.SECONDARY)])
+    with pytest.raises(ConfigurationError, match="exactly one primary"):
+        Manifest([spec("a", VmRole.PRIMARY), spec("b", VmRole.PRIMARY)])
+
+
+def test_at_most_one_super_secondary():
+    with pytest.raises(ConfigurationError, match="at most one super-secondary"):
+        Manifest(
+            [
+                spec("p", VmRole.PRIMARY),
+                spec("s1", VmRole.SUPER_SECONDARY),
+                spec("s2", VmRole.SUPER_SECONDARY),
+            ]
+        )
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        Manifest([spec("x", VmRole.PRIMARY), spec("x", VmRole.SECONDARY)])
+
+
+def test_primary_cannot_be_secure():
+    with pytest.raises(ConfigurationError, match="normal world"):
+        Manifest([spec("p", VmRole.PRIMARY, mem=64 * MiB, secure=True)])
+
+
+def test_partition_field_validation():
+    with pytest.raises(ConfigurationError, match="VCPU"):
+        Manifest([spec("p", VmRole.PRIMARY, vcpus=0)])
+    with pytest.raises(ConfigurationError, match="too small"):
+        Manifest([spec("p", VmRole.PRIMARY, mem=1024)])
+    with pytest.raises(ConfigurationError, match="kernel factory"):
+        Manifest([PartitionSpec("p", VmRole.PRIMARY, 1, 64 * MiB)])
+
+
+def test_device_double_assignment_rejected():
+    with pytest.raises(ConfigurationError, match="assigned to both"):
+        Manifest(
+            [
+                spec("p", VmRole.PRIMARY, devices=["uart0"]),
+                spec("s", VmRole.SECONDARY, devices=["uart0"]),
+            ]
+        )

@@ -1,0 +1,113 @@
+"""Pool allocator: first-fit, reclaim, coalescing, invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.hafnium.pool import PoolAllocator
+
+MiB = 1024 * 1024
+
+
+def pool(size=256 * MiB):
+    return PoolAllocator(base=0x8000_0000, size=size)
+
+
+def test_allocate_aligned_and_inside():
+    p = pool()
+    a = p.allocate(10 * MiB)
+    assert a % p.align == 0
+    assert p.owns(a)
+    assert p.allocated_bytes == 10 * MiB
+    assert p.free_bytes == 246 * MiB
+
+
+def test_rounding_to_alignment():
+    p = pool()
+    a = p.allocate(1)  # rounds to one 2 MiB block
+    assert p.allocated_bytes == 2 * MiB
+    p.free(a)
+    assert p.free_bytes == 256 * MiB
+
+
+def test_free_coalesces_neighbours():
+    p = pool()
+    a = p.allocate(64 * MiB)
+    b = p.allocate(64 * MiB)
+    c = p.allocate(64 * MiB)
+    p.free(a)
+    p.free(c)
+    # a-hole; c coalesced with the tail.
+    assert p.fragment_count == 2
+    p.free(b)  # merges everything back
+    assert p.fragment_count == 1
+    assert p.free_bytes == 256 * MiB
+    p.check_invariants()
+
+
+def test_reuse_after_free():
+    p = pool(8 * MiB)
+    a = p.allocate(8 * MiB)
+    with pytest.raises(ConfigurationError, match="exhausted"):
+        p.allocate(2 * MiB)
+    p.free(a)
+    assert p.allocate(8 * MiB) == a
+
+
+def test_fragmentation_can_block_large_alloc():
+    p = pool(12 * MiB)
+    a = p.allocate(4 * MiB)
+    b = p.allocate(4 * MiB)
+    p.allocate(4 * MiB)
+    p.free(a)
+    p.free(b)  # coalesces with a: 8 MiB contiguous
+    assert p.allocate(8 * MiB) == a
+
+
+def test_double_free_rejected():
+    p = pool()
+    a = p.allocate(2 * MiB)
+    p.free(a)
+    with pytest.raises(ConfigurationError, match="unallocated"):
+        p.free(a)
+    with pytest.raises(ConfigurationError, match="unallocated"):
+        p.free(0xDEAD0000)
+
+
+def test_constructor_validation():
+    with pytest.raises(ConfigurationError):
+        PoolAllocator(0, 0)
+    with pytest.raises(ConfigurationError):
+        PoolAllocator(0, 1024, align=3)
+    with pytest.raises(ConfigurationError):
+        PoolAllocator(1024, 4096, align=2048)  # misaligned base
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["alloc", "free"]),
+            st.integers(min_value=1, max_value=32 * MiB),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_invariants_under_random_workload(ops):
+    p = pool(128 * MiB)
+    live = []
+    for op, size in ops:
+        if op == "alloc":
+            try:
+                live.append(p.allocate(size))
+            except ConfigurationError:
+                pass  # exhausted/fragmented is legal
+        elif live:
+            idx = size % len(live)
+            p.free(live.pop(idx))
+        p.check_invariants()
+    for addr in live:
+        p.free(addr)
+    p.check_invariants()
+    assert p.free_bytes == 128 * MiB
+    assert p.fragment_count == 1

@@ -1,0 +1,103 @@
+"""Virtual GIC (para-virtual interrupt controller) semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import SimulationError
+from repro.hafnium.vgic import VgicCpu
+
+
+@pytest.fixture
+def vgic():
+    v = VgicCpu("test.vcpu0")
+    v.enable(27, priority=0x20)
+    v.enable(40)
+    return v
+
+
+def test_inject_deliver_eoi(vgic):
+    assert vgic.inject(27)
+    assert vgic.next_deliverable() == 27
+    assert vgic.ack() == 27
+    assert vgic.active == 27
+    vgic.eoi(27)
+    assert vgic.active is None
+    assert vgic.ack() is None
+
+
+def test_inject_is_level_idempotent(vgic):
+    assert vgic.inject(27)
+    assert not vgic.inject(27)  # already pending
+    assert vgic.ack() == 27
+    assert not vgic.inject(27)  # active
+    vgic.eoi(27)
+    assert vgic.inject(27)  # deliverable again
+    assert vgic.injected == 2
+
+
+def test_priority_ordering(vgic):
+    vgic.inject(40)
+    vgic.inject(27)  # higher priority (0x20 < 0xA0)
+    assert vgic.ack() == 27
+    vgic.eoi(27)
+    assert vgic.ack() == 40
+
+
+def test_disabled_virq_stays_pending(vgic):
+    vgic.inject(99)  # never enabled
+    assert vgic.next_deliverable() is None
+    assert vgic.has_work()
+    vgic.enable(99)
+    assert vgic.ack() == 99
+
+
+def test_no_nested_delivery(vgic):
+    vgic.inject(27)
+    vgic.inject(40)
+    assert vgic.ack() == 27
+    # While 27 is active nothing else is delivered.
+    assert vgic.next_deliverable() is None
+    vgic.eoi(27)
+    assert vgic.ack() == 40
+
+
+def test_bad_eoi_rejected(vgic):
+    vgic.inject(27)
+    vgic.ack()
+    with pytest.raises(SimulationError):
+        vgic.eoi(40)
+
+
+def test_disable(vgic):
+    vgic.inject(40)
+    vgic.disable(40)
+    assert vgic.next_deliverable() is None
+
+
+def test_counters(vgic):
+    vgic.inject(27)
+    vgic.ack()
+    vgic.eoi(27)
+    assert vgic.injected == 1
+    assert vgic.delivered == 1
+
+
+@given(st.lists(st.integers(min_value=16, max_value=64), min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_property_every_enabled_injection_is_delivered_once(virqs):
+    v = VgicCpu("p")
+    for irq in set(virqs):
+        v.enable(irq)
+    injected = set()
+    for irq in virqs:
+        v.inject(irq)
+        injected.add(irq)
+    delivered = []
+    while True:
+        irq = v.ack()
+        if irq is None:
+            break
+        delivered.append(irq)
+        v.eoi(irq)
+    assert sorted(delivered) == sorted(injected)
+    assert not v.has_work()

@@ -1,0 +1,224 @@
+"""GIC routing/ack/eoi semantics and generic-timer behaviour."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.hw.gic import (
+    Gic,
+    IrqTrigger,
+    PPI_PHYS_TIMER,
+    PPI_VIRT_TIMER,
+)
+from repro.hw.timer import GenericTimer
+from repro.sim.engine import Engine
+from repro.common.units import ms, us
+
+
+@pytest.fixture
+def gic():
+    return Gic(num_cores=4)
+
+
+class TestGicClassify:
+    def test_ranges(self, gic):
+        assert Gic.classify(0) == "sgi"
+        assert Gic.classify(15) == "sgi"
+        assert Gic.classify(16) == "ppi"
+        assert Gic.classify(31) == "ppi"
+        assert Gic.classify(32) == "spi"
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Gic.classify(-1)
+        with pytest.raises(ConfigurationError):
+            Gic.classify(5000)
+
+
+class TestDeliveryPath:
+    def test_spi_routed_to_target_core(self, gic):
+        gic.configure(40, target_core=2)
+        gic.enable(40)
+        fired = []
+        gic.cpu_ifaces[2].irq_entry = lambda: fired.append(2)
+        gic.cpu_ifaces[2].set_masked(False)
+        gic.pulse(40)
+        assert fired == [2]
+        assert gic.cpu_ifaces[0].has_deliverable() is False
+
+    def test_retarget_spi(self, gic):
+        gic.configure(40, target_core=0)
+        gic.enable(40)
+        gic.retarget_spi(40, 3)
+        gic.cpu_ifaces[3].set_masked(False)
+        gic.pulse(40)
+        assert gic.cpu_ifaces[3].has_deliverable()
+        assert not gic.cpu_ifaces[0].has_deliverable()
+
+    def test_retarget_rejects_non_spi(self, gic):
+        with pytest.raises(ConfigurationError):
+            gic.retarget_spi(PPI_PHYS_TIMER, 1)
+        with pytest.raises(ConfigurationError):
+            gic.retarget_spi(40, 9)
+
+    def test_ppi_needs_explicit_core(self, gic):
+        gic.enable(PPI_PHYS_TIMER)
+        with pytest.raises(SimulationError):
+            gic.assert_level(PPI_PHYS_TIMER)
+        gic.assert_level(PPI_PHYS_TIMER, core=1)
+        assert gic.cpu_ifaces[1].has_deliverable()
+
+    def test_disabled_irq_not_deliverable(self, gic):
+        gic.configure(40)
+        gic.pulse(40)
+        assert not gic.cpu_ifaces[0].has_deliverable()
+        gic.enable(40)
+        assert gic.cpu_ifaces[0].has_deliverable()
+
+    def test_masked_core_defers_until_unmask(self, gic):
+        gic.configure(40, target_core=0)
+        gic.enable(40)
+        fired = []
+        iface = gic.cpu_ifaces[0]
+        iface.irq_entry = lambda: fired.append("x")
+        gic.pulse(40)  # masked: no signal
+        assert fired == []
+        iface.set_masked(False)
+        assert fired == ["x"]
+
+    def test_enable_of_asserted_level_line_propagates(self, gic):
+        gic.configure(40, trigger=IrqTrigger.LEVEL)
+        gic.assert_level(40)
+        assert not gic.cpu_ifaces[0].has_deliverable()
+        gic.enable(40)
+        assert gic.cpu_ifaces[0].has_deliverable()
+
+    def test_sgi_targets_core(self, gic):
+        gic.enable(1)
+        gic.send_sgi(1, target_core=2)
+        assert gic.cpu_ifaces[2].has_deliverable()
+        with pytest.raises(ConfigurationError):
+            gic.send_sgi(40, target_core=0)
+
+
+class TestAckEoi:
+    def test_ack_moves_to_active(self, gic):
+        gic.configure(40)
+        gic.enable(40)
+        gic.pulse(40)
+        iface = gic.cpu_ifaces[0]
+        irq = iface.ack()
+        assert irq == 40
+        assert not iface.has_deliverable()
+        iface.eoi(40)
+
+    def test_ack_priority_order(self, gic):
+        gic.configure(40, priority=0xB0)
+        gic.configure(41, priority=0x40)  # more urgent (lower value)
+        gic.enable(40)
+        gic.enable(41)
+        gic.pulse(40)
+        gic.pulse(41)
+        iface = gic.cpu_ifaces[0]
+        assert iface.ack() == 41
+        assert iface.ack() == 40
+
+    def test_spurious_ack(self, gic):
+        assert gic.cpu_ifaces[0].ack() is None
+
+    def test_eoi_inactive_rejected(self, gic):
+        with pytest.raises(SimulationError):
+            gic.cpu_ifaces[0].eoi(40)
+
+    def test_level_line_repends_after_eoi(self, gic):
+        gic.configure(PPI_PHYS_TIMER, trigger=IrqTrigger.LEVEL)
+        gic.enable(PPI_PHYS_TIMER)
+        iface = gic.cpu_ifaces[0]
+        gic.assert_level(PPI_PHYS_TIMER, core=0)
+        irq = iface.ack()
+        iface.eoi(irq)
+        # Line still asserted: pending again (handler must deassert source).
+        assert iface.has_deliverable()
+        irq = iface.ack()
+        # Proper handler order: deassert the source, then EOI -> no re-pend.
+        gic.deassert_level(PPI_PHYS_TIMER, core=0)
+        iface.eoi(irq)
+        assert not iface.has_deliverable()
+
+    def test_delivery_stats(self, gic):
+        gic.configure(40)
+        gic.enable(40)
+        gic.pulse(40)
+        gic.cpu_ifaces[0].ack()
+        assert gic.stats_delivered[40] == 1
+
+
+class TestGenericTimer:
+    def test_fire_asserts_ppi(self):
+        eng = Engine()
+        gic = Gic(4)
+        gic.enable(PPI_PHYS_TIMER)
+        timer = GenericTimer(eng, gic, core_id=1)
+        timer["phys"].program(ms(1))
+        eng.run_until(ms(1))
+        assert gic.cpu_ifaces[1].has_deliverable()
+        assert timer["phys"].fire_count == 1
+
+    def test_reprogram_cancels_previous(self):
+        eng = Engine()
+        gic = Gic(4)
+        gic.enable(PPI_PHYS_TIMER)
+        timer = GenericTimer(eng, gic, 0)
+        timer["phys"].program(ms(1))
+        eng.run_until(us(500))
+        timer["phys"].program(ms(2))
+        eng.run_until(ms(1))
+        assert timer["phys"].fire_count == 0
+        eng.run_until(us(2500))
+        assert timer["phys"].fire_count == 1
+
+    def test_stop_deasserts(self):
+        eng = Engine()
+        gic = Gic(4)
+        gic.enable(PPI_VIRT_TIMER)
+        timer = GenericTimer(eng, gic, 0)
+        timer["virt"].program(ms(1))
+        eng.run_until(ms(1))
+        assert gic.cpu_ifaces[0].has_deliverable()
+        timer["virt"].stop()
+        assert not gic.cpu_ifaces[0].has_deliverable()
+
+    def test_remaining_and_armed(self):
+        eng = Engine()
+        gic = Gic(4)
+        timer = GenericTimer(eng, gic, 0)
+        ch = timer["hyp"]
+        assert ch.remaining() is None
+        assert not ch.armed
+        ch.program(ms(10))
+        assert ch.armed
+        eng.run_until(ms(3))
+        assert ch.remaining() == ms(7)
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        gic = Gic(4)
+        timer = GenericTimer(eng, gic, 0)
+        with pytest.raises(ConfigurationError):
+            timer["phys"].program(-1)
+
+    def test_unknown_channel(self):
+        eng = Engine()
+        gic = Gic(4)
+        timer = GenericTimer(eng, gic, 0)
+        with pytest.raises(KeyError):
+            timer["bogus"]
+
+    def test_stop_all(self):
+        eng = Engine()
+        gic = Gic(4)
+        timer = GenericTimer(eng, gic, 0)
+        timer["phys"].program(ms(1))
+        timer["virt"].program(ms(1))
+        timer.stop_all()
+        assert not timer["phys"].armed
+        assert not timer["virt"].armed

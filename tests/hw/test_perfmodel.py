@@ -1,0 +1,178 @@
+"""Performance-model pricing: sanity, monotonicity, paper-shape properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MiB
+from repro.hw.perfmodel import (
+    CostParams,
+    MemEnv,
+    NATIVE_TRANSLATION,
+    PerfModel,
+    TranslationInfo,
+)
+from repro.hw.soc import PINE_A64
+
+
+@pytest.fixture
+def perf():
+    return PerfModel(PINE_A64)
+
+
+TWO_STAGE = TranslationInfo(two_stage=True, s1_depth=2, s2_depth=3, page_size=4096)
+
+
+def test_cycles_conversion(perf):
+    assert perf.cycles(1) == 868
+    assert perf.cycles(0) == 0
+
+
+def test_compute_ps_uses_ipc(perf):
+    # 1.1 IPC at 1.152 GHz: ~1.267 Gops/s
+    t = perf.compute_ps(1.1 * 1.152e9)  # one second of ops
+    assert abs(t - 1e12) / 1e12 < 1e-6
+    with pytest.raises(ConfigurationError):
+        perf.compute_ps(-1)
+
+
+def test_event_costs_positive_and_ordered(perf):
+    # VM exit+entry is costlier than a plain IRQ entry; a world switch
+    # (EL3) costs more than a plain VM exit.
+    irq = perf.event_cost("irq_entry")
+    vm_exit = perf.event_cost("vm_exit")
+    world = perf.event_cost("world_switch")
+    assert 0 < irq < vm_exit < world
+    with pytest.raises(ConfigurationError):
+        perf.event_cost("teleport")
+
+
+def test_translation_info_walk_refs():
+    assert NATIVE_TRANSLATION.walk_refs == 2  # 2 MiB blocks, native
+    assert TWO_STAGE.walk_refs == (2 + 1) * (3 + 1) - 1
+
+
+class TestRandomAccessPricing:
+    def test_two_stage_slower_than_native(self, perf):
+        ws = 64 * MiB
+        native = perf.random_access_ns(ws, NATIVE_TRANSLATION)
+        virt = perf.random_access_ns(ws, TWO_STAGE)
+        assert virt > native
+
+    def test_paper_shape_few_percent_penalty(self, perf):
+        """The steady-state two-stage penalty for a RandomAccess-class
+        working set lands in the paper's Figure 8 band (~3-10%)."""
+        ws = 64 * MiB
+        native = perf.random_access_ns(ws, NATIVE_TRANSLATION)
+        virt = perf.random_access_ns(ws, TWO_STAGE)
+        penalty = (virt - native) / native
+        assert 0.02 < penalty < 0.12
+
+    def test_small_working_set_unaffected(self, perf):
+        """A TLB-resident working set pays no translation penalty."""
+        ws = 1 * MiB  # 256 pages at 4K < 512 TLB entries
+        native = perf.random_access_ns(ws, NATIVE_TRANSLATION)
+        virt = perf.random_access_ns(
+            ws, TranslationInfo(True, 2, 3, page_size=4096)
+        )
+        # Working set fits in TLB under both regimes, and partially in L2.
+        assert virt == pytest.approx(native, rel=0.01)
+
+    @given(st.integers(min_value=20, max_value=30))
+    def test_monotone_in_working_set(self, log2ws):
+        perf = PerfModel(PINE_A64)
+        a = perf.random_access_ns(2**log2ws, TWO_STAGE)
+        b = perf.random_access_ns(2 ** (log2ws + 1), TWO_STAGE)
+        assert b >= a
+
+
+class TestStreamPricing:
+    def test_bandwidth_bound(self, perf):
+        per_byte = perf.stream_ns_per_byte(NATIVE_TRANSLATION)
+        implied_bw = 1e9 / per_byte
+        assert implied_bw == pytest.approx(PINE_A64.dram_bw_bytes_per_s, rel=0.05)
+
+    def test_virtualization_penalty_small(self, perf):
+        """Paper Figure 7/8: Stream differences are not significant."""
+        native = perf.stream_ns_per_byte(NATIVE_TRANSLATION)
+        virt = perf.stream_ns_per_byte(TWO_STAGE)
+        assert (virt - native) / native < 0.01
+
+
+class TestWarmup:
+    def test_cold_context_pays_warmup(self, perf):
+        env = MemEnv(PINE_A64)
+        ctx = env.context(("vm1", 0))
+        warm_ps, steady = perf.tlb_warmup_ps(ctx, 64 * MiB, TWO_STAGE)
+        assert warm_ps > 0
+        assert steady == PINE_A64.tlb_entries  # ws >> TLB reach
+
+    def test_warm_context_pays_nothing(self, perf):
+        env = MemEnv(PINE_A64)
+        ctx = env.context(("vm1", 0))
+        _, steady = perf.tlb_warmup_ps(ctx, 64 * MiB, TWO_STAGE)
+        ctx.tlb_resident = steady
+        warm_ps, _ = perf.tlb_warmup_ps(ctx, 64 * MiB, TWO_STAGE)
+        assert warm_ps == 0
+
+    def test_pollution_cools_contexts(self):
+        env = MemEnv(PINE_A64)
+        ctx = env.context(("vm1", 0))
+        ctx.tlb_resident = 512.0
+        ctx.cache_resident = 512 * 1024.0
+        env.pollute("tick.linux")
+        ctx = env.context(("vm1", 0))  # re-fetch applies the lazy decay
+        assert ctx.tlb_resident < 512.0
+        assert ctx.cache_resident < 512 * 1024.0
+        # Kitten's tick pollutes much less than Linux's.
+        env2 = MemEnv(PINE_A64)
+        env2.context(("vm1", 0)).tlb_resident = 512.0
+        env2.pollute("tick.kitten")
+        assert env2.context(("vm1", 0)).tlb_resident > ctx.tlb_resident
+
+    def test_pollution_decay_is_lazy_and_composes(self):
+        env = MemEnv(PINE_A64)
+        ctx = env.context(("k",))
+        ctx.tlb_resident = 100.0
+        keep = 1.0 - env.params.pollution_tlb_frac["kthread"]
+        for _ in range(10):
+            env.pollute("kthread")
+        assert env.pollution_events == 10
+        synced = env.context(("k",))
+        assert synced.tlb_resident == pytest.approx(100.0 * keep**10, rel=1e-9)
+
+    def test_contexts_age_independently(self):
+        """A new context created after pollution starts fully cold but is
+        not further decayed by history predating it."""
+        env = MemEnv(PINE_A64)
+        keep = 1.0 - env.params.pollution_tlb_frac["kthread"]
+        a = env.context(("a",))
+        a.tlb_resident = 100.0
+        env.pollute("kthread")
+        b = env.context(("b",))
+        b.tlb_resident = 100.0
+        env.pollute("kthread")
+        assert env.context(("a",)).tlb_resident == pytest.approx(100.0 * keep**2)
+        assert env.context(("b",)).tlb_resident == pytest.approx(100.0 * keep)
+
+    def test_flush_all(self):
+        env = MemEnv(PINE_A64)
+        ctx = env.context(("a",))
+        ctx.tlb_resident = 10
+        env.flush_all()
+        assert env.context(("a",)).tlb_resident == 0
+
+    def test_cache_warmup(self, perf):
+        env = MemEnv(PINE_A64)
+        ctx = env.context(("x",))
+        ps, steady = perf.cache_warmup_ps(ctx, 64 * 1024)
+        assert ps > 0 and steady == 64 * 1024
+        ctx.cache_resident = steady
+        ps2, _ = perf.cache_warmup_ps(ctx, 64 * 1024)
+        assert ps2 == 0
+
+
+def test_params_with_overrides():
+    p = CostParams().with_overrides(vm_exit_cycles=9999)
+    assert p.vm_exit_cycles == 9999
+    assert p.irq_entry_cycles == CostParams().irq_entry_cycles

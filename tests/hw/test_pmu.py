@@ -1,0 +1,95 @@
+"""PMU/debug-register model + the Hafnium trap policy (paper IV-b)."""
+
+import pytest
+
+from repro.common.units import seconds
+from repro.core.configs import CONFIG_HAFNIUM_KITTEN, CONFIG_NATIVE, build_node
+from repro.core.node import run_until_done
+from repro.hw.pmu import (
+    DebugRegisters,
+    EVT_CYCLES,
+    EVT_INSTRUCTIONS,
+    EVT_IRQS,
+    Pmu,
+    PmuTrapError,
+)
+from repro.kernels.phases import ComputePhase
+from repro.kernels.thread import ReadPmu, Thread
+
+
+class TestPmuModel:
+    def test_count_and_read(self):
+        pmu = Pmu(0)
+        pmu.count(EVT_CYCLES, 100.0)
+        pmu.count(EVT_CYCLES, 50.0)
+        assert pmu.read(EVT_CYCLES) == 150.0
+
+    def test_count_cycles_for(self):
+        pmu = Pmu(0)
+        pmu.count_cycles_for(seconds(1), 1.152e9)
+        assert pmu.read(EVT_CYCLES) == pytest.approx(1.152e9)
+
+    def test_disabled_counts_nothing(self):
+        pmu = Pmu(0)
+        pmu.enabled = False
+        pmu.count(EVT_CYCLES, 100.0)
+        assert pmu.read(EVT_CYCLES) == 0.0
+
+    def test_reset(self):
+        pmu = Pmu(0)
+        pmu.count(EVT_IRQS, 5)
+        pmu.reset()
+        assert pmu.read(EVT_IRQS) == 0.0
+
+    def test_unknown_event(self):
+        with pytest.raises(KeyError):
+            Pmu(0).read(0xFFF)
+
+    def test_guest_read_traps(self):
+        pmu = Pmu(0)
+        with pytest.raises(PmuTrapError):
+            pmu.read(EVT_CYCLES, guest_vm="compute")
+
+    def test_debug_registers_trap_for_guests(self):
+        dbg = DebugRegisters(0)
+        dbg.set_breakpoint(0, 0x1000)
+        assert dbg.breakpoints[0] == 0x1000
+        with pytest.raises(PmuTrapError):
+            dbg.set_breakpoint(1, 0x2000, guest_vm="compute")
+        with pytest.raises(PmuTrapError):
+            dbg.clear(0, guest_vm="compute")
+        dbg.clear(0)
+        assert 0 not in dbg.breakpoints
+
+
+class TestSystemIntegration:
+    def test_native_thread_reads_cycle_counter(self):
+        node = build_node(CONFIG_NATIVE, seed=9)
+        got = []
+
+        def body():
+            yield ComputePhase(1e7)
+            cycles = yield ReadPmu(EVT_CYCLES)
+            got.append(cycles)
+
+        t = Thread("prof", body(), cpu=0)
+        node.spawn_workload_threads([t])
+        run_until_done(node, [t], max_seconds=5)
+        # ~1e7 ops at IPC 1.1 -> ~9.1e6 cycles.
+        assert got and got[0] == pytest.approx(1e7 / 1.1, rel=0.05)
+
+    def test_guest_pmu_access_aborts_vm(self):
+        """Paper IV-b: performance counters are among the features
+        Hafnium disallows for secondary VMs."""
+        node = build_node(CONFIG_HAFNIUM_KITTEN, seed=9)
+        t = Thread("prof", iter([ReadPmu(EVT_CYCLES)]), cpu=0)
+        node.spawn_workload_threads([t])
+        node.engine.run_until(node.engine.now + seconds(0.5))
+        assert node.spm.vm_by_name("compute").aborted
+        assert node.machine.tracer.count("pmu.trap") == 1
+
+    def test_irq_counter_increments_under_ticks(self):
+        node = build_node(CONFIG_NATIVE, seed=9)
+        node.engine.run_until(seconds(1.0))
+        irqs = node.machine.cores[0].pmu.read(EVT_IRQS)
+        assert irqs >= 8  # ~10 Hz tick on core 0

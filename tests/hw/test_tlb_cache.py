@@ -1,0 +1,178 @@
+"""TLB and cache functional models + closed-form expectations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.hw.cache import CacheModel, random_steady_hit_rate as cache_hit_rate
+from repro.hw.tlb import (
+    TlbModel,
+    random_steady_hit_rate,
+    sequential_misses,
+    warmup_misses,
+)
+
+
+class TestTlb:
+    def test_hit_after_fill(self):
+        tlb = TlbModel(entries=4)
+        assert tlb.access(0, 0, 100) is False
+        assert tlb.access(0, 0, 100) is True
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_lru_eviction(self):
+        tlb = TlbModel(entries=2)
+        tlb.access(0, 0, 1)
+        tlb.access(0, 0, 2)
+        tlb.access(0, 0, 1)  # touch 1 -> 2 is LRU
+        tlb.access(0, 0, 3)  # evicts 2
+        assert tlb.access(0, 0, 1) is True
+        assert tlb.access(0, 0, 2) is False
+
+    def test_capacity_never_exceeded(self):
+        tlb = TlbModel(entries=8)
+        for vpn in range(100):
+            tlb.access(0, 0, vpn)
+        assert tlb.occupancy() == 8
+
+    def test_flush_all(self):
+        tlb = TlbModel(entries=8)
+        for vpn in range(5):
+            tlb.access(0, 0, vpn)
+        assert tlb.flush_all() == 5
+        assert tlb.occupancy() == 0
+        assert tlb.access(0, 0, 0) is False
+
+    def test_flush_vmid_selective(self):
+        tlb = TlbModel(entries=16)
+        tlb.access(1, 0, 10)
+        tlb.access(1, 5, 11)
+        tlb.access(2, 0, 10)
+        assert tlb.flush_vmid(1) == 2
+        assert tlb.occupancy(1) == 0
+        assert tlb.occupancy(2) == 1
+        assert tlb.access(2, 0, 10) is True
+
+    def test_flush_asid_selective(self):
+        tlb = TlbModel(entries=16)
+        tlb.access(1, 1, 10)
+        tlb.access(1, 2, 10)
+        assert tlb.flush_asid(1, 1) == 1
+        assert tlb.access(1, 2, 10) is True
+
+    def test_evict_fraction(self):
+        tlb = TlbModel(entries=100)
+        for vpn in range(100):
+            tlb.access(0, 0, vpn)
+        dropped = tlb.evict_fraction(0.5)
+        assert dropped == 50
+        assert tlb.occupancy() == 50
+        with pytest.raises(ConfigurationError):
+            tlb.evict_fraction(1.5)
+
+    def test_distinct_vmid_distinct_entries(self):
+        tlb = TlbModel(entries=16)
+        tlb.access(1, 0, 7)
+        assert tlb.access(2, 0, 7) is False  # different VM: miss
+
+    def test_reset_counters(self):
+        tlb = TlbModel(entries=4)
+        tlb.access(0, 0, 1)
+        tlb.reset_counters()
+        assert tlb.hits == 0 and tlb.misses == 0 and tlb.flushes == 0
+
+    def test_needs_capacity(self):
+        with pytest.raises(ConfigurationError):
+            TlbModel(entries=0)
+
+    @given(st.integers(min_value=1, max_value=32), st.integers(min_value=1, max_value=64))
+    def test_property_steady_state_matches_formula(self, entries, pages):
+        """Measured LRU hit rate converges to min(1, E/P) under uniform access."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        tlb = TlbModel(entries=entries)
+        seq = rng.integers(0, pages, size=6000)
+        for vpn in seq[:1000]:  # warm up
+            tlb.access(0, 0, int(vpn))
+        tlb.reset_counters()
+        for vpn in seq[1000:]:
+            tlb.access(0, 0, int(vpn))
+        expected = random_steady_hit_rate(pages, entries)
+        assert abs(tlb.hit_rate - expected) < 0.08
+
+
+def test_random_steady_hit_rate_edges():
+    assert random_steady_hit_rate(0, 16) == 1.0
+    assert random_steady_hit_rate(16, 16) == 1.0
+    assert random_steady_hit_rate(32, 16) == 0.5
+
+
+def test_sequential_misses():
+    assert sequential_misses(8 * 4096, 4096) == 8.0
+    with pytest.raises(ConfigurationError):
+        sequential_misses(100, 0)
+
+
+def test_warmup_misses():
+    # Cold TLB, 100-page working set, 512-entry TLB: 100 walks to warm.
+    assert warmup_misses(0, 100, 512) == 100
+    # Already warm: nothing.
+    assert warmup_misses(100, 100, 512) == 0
+    # Working set beyond capacity: bounded by capacity.
+    assert warmup_misses(0, 10_000, 512) == 512
+
+
+class TestCache:
+    def test_geometry(self):
+        c = CacheModel(size=1024, line=64, ways=4)
+        assert c.num_sets == 4
+
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CacheModel(size=1000, line=64, ways=4)
+        with pytest.raises(ConfigurationError):
+            CacheModel(size=0)
+
+    def test_hit_after_fill_same_line(self):
+        c = CacheModel(size=1024, line=64, ways=2)
+        assert c.access(0) is False
+        assert c.access(63) is True  # same line
+        assert c.access(64) is False  # next line
+
+    def test_way_conflict_eviction(self):
+        c = CacheModel(size=1024, line=64, ways=2)  # 8 sets
+        set_stride = 64 * 8
+        c.access(0)
+        c.access(set_stride)
+        c.access(2 * set_stride)  # evicts addr 0 (LRU)
+        assert c.access(0) is False
+
+    def test_flush_and_occupancy(self):
+        c = CacheModel(size=1024, line=64, ways=2)
+        for i in range(5):
+            c.access(i * 64)
+        assert c.occupancy() == 5
+        assert c.flush() == 5
+        assert c.occupancy() == 0
+
+    def test_evict_fraction(self):
+        c = CacheModel(size=4096, line=64, ways=4)
+        for i in range(64):
+            c.access(i * 64)
+        before = c.occupancy()
+        c.evict_fraction(0.5)
+        assert c.occupancy() < before
+
+    def test_hit_rate_counter(self):
+        c = CacheModel(size=1024, line=64, ways=2)
+        c.access(0)
+        c.access(0)
+        assert c.hit_rate == 0.5
+        c.reset_counters()
+        assert c.hit_rate == 0.0
+
+
+def test_cache_closed_form():
+    assert cache_hit_rate(0, 1024) == 1.0
+    assert cache_hit_rate(2048, 1024) == 0.5

@@ -1,0 +1,120 @@
+"""Kitten LWK policy: scheduler semantics, LWK properties, control task."""
+
+import pytest
+
+from repro.common.units import ms, seconds
+from repro.core.configs import CONFIG_HAFNIUM_KITTEN, build_node
+from repro.hw.machine import Machine
+from repro.kernels.thread import Thread
+from repro.kitten.control import JobSpec
+from repro.kitten.kernel import (
+    DEFAULT_QUANTUM_PS,
+    DEFAULT_TICK_HZ,
+    KITTEN_NATIVE_TRANSLATION,
+    KittenKernel,
+)
+from repro.sim.engine import Signal
+
+
+@pytest.fixture
+def kernel():
+    return KittenKernel(Machine(), "k")
+
+
+class TestSchedulerPolicy:
+    def test_lwk_defaults(self, kernel):
+        # Paper III-a: large quantum, low tick rate.
+        assert DEFAULT_QUANTUM_PS == ms(100)
+        assert DEFAULT_TICK_HZ == 10.0
+        assert kernel.tick_hz == 10.0
+        assert kernel.quantum_ps(Thread("t", iter(()))) == ms(100)
+
+    def test_large_pages(self):
+        # Kitten maps task memory with 2 MiB blocks.
+        assert KITTEN_NATIVE_TRANSLATION.page_size == 2 * 1024 * 1024
+        assert KITTEN_NATIVE_TRANSLATION.s1_depth == 2
+        assert not KITTEN_NATIVE_TRANSLATION.two_stage
+
+    def test_priority_ordering_in_queue(self, kernel):
+        slot = kernel.slots[0]
+        lo = Thread("lo", iter(()), priority=100)
+        hi = Thread("hi", iter(()), priority=10)
+        mid = Thread("mid", iter(()), priority=50)
+        for t in (lo, hi, mid):
+            kernel.enqueue(slot, t)
+        assert kernel.dequeue_next(slot) is hi
+        assert kernel.dequeue_next(slot) is mid
+        assert kernel.dequeue_next(slot) is lo
+        assert kernel.dequeue_next(slot) is None
+
+    def test_fifo_within_priority(self, kernel):
+        slot = kernel.slots[0]
+        a = Thread("a", iter(()), priority=100)
+        b = Thread("b", iter(()), priority=100)
+        kernel.enqueue(slot, a)
+        kernel.enqueue(slot, b)
+        assert kernel.dequeue_next(slot) is a
+        assert kernel.dequeue_next(slot) is b
+
+    def test_no_preempt_for_equal_priority_wake(self, kernel):
+        slot = kernel.slots[0]
+        slot.current = Thread("cur", iter(()), priority=100)
+        assert not kernel.should_preempt_on_wake(slot, Thread("w", iter(()), priority=100))
+        assert kernel.should_preempt_on_wake(slot, Thread("w", iter(()), priority=10))
+
+    def test_tick_expires_quantum_only_with_competition(self, kernel):
+        slot = kernel.slots[0]
+        cur = Thread("cur", iter(()), priority=100)
+        cur.quantum_left_ps = kernel.tick_period_ps  # one tick left
+        slot.current = cur
+        kernel.on_tick(slot)  # no runqueue competitor
+        assert not slot.need_resched
+        cur.quantum_left_ps = kernel.tick_period_ps
+        kernel.enqueue(slot, Thread("other", iter(()), priority=100))
+        kernel.on_tick(slot)
+        assert slot.need_resched
+
+    def test_no_background_threads(self, kernel):
+        """The LWK property the paper leans on: nothing but what you spawn."""
+        assert kernel.threads == []
+
+
+class TestControlTask:
+    def test_auto_launches_super_secondary(self):
+        node = build_node(CONFIG_HAFNIUM_KITTEN, seed=4, with_super_secondary=True)
+        control = node.control_task
+        assert "login" in control.launched
+        login_threads = [
+            t for t in node.kernels["primary"].threads if t.name.startswith("vcpu.login")
+        ]
+        assert len(login_threads) == 1
+
+    def test_launch_command_creates_vcpu_threads(self):
+        node = build_node(CONFIG_HAFNIUM_KITTEN, seed=4)
+        assert "compute" in node.control_task.launched
+        names = [t.name for t in node.kernels["primary"].threads]
+        for i in range(4):
+            assert f"vcpu.compute.{i}" in names
+
+    def test_vcpu_pinning_spreads_incrementally(self):
+        node = build_node(CONFIG_HAFNIUM_KITTEN, seed=4)
+        vcpus = node.control_task.vcpu_threads["compute"]
+        assert [t.cpu for t in vcpus] == [0, 1, 2, 3]
+
+    def test_stop_command_round_trip(self):
+        node = build_node(CONFIG_HAFNIUM_KITTEN, seed=4)
+        done = Signal(node.engine, "job")
+        fired = []
+        done.subscribe(fired.append)
+        job = JobSpec("stop", "compute", done=done)
+        node.control_task.submit(job)
+        node.engine.run_until(node.engine.now + seconds(0.2))
+        assert fired and fired[0].result["ok"]
+        assert node.spm.vm_by_name("compute").halt_requested
+
+    def test_unknown_action_reports_error(self):
+        node = build_node(CONFIG_HAFNIUM_KITTEN, seed=4)
+        job = JobSpec("defenestrate", "compute")
+        node.control_task.submit(job)
+        node.engine.run_until(node.engine.now + seconds(0.2))
+        assert job.result["ok"] is False

@@ -1,0 +1,178 @@
+"""Linux model: CFS mechanics, timer wheel, background population, driver."""
+
+import pytest
+
+from repro.common.units import ms, seconds
+from repro.core.configs import CONFIG_HAFNIUM_LINUX, build_node
+from repro.hw.machine import Machine
+from repro.kernels.phases import ComputePhase
+from repro.kernels.thread import Thread, ThreadState
+from repro.linuxk.kernel import (
+    HZ,
+    LINUX_NATIVE_TRANSLATION,
+    LinuxKernel,
+    MIN_GRANULARITY_PS,
+    WAKEUP_GRANULARITY_PS,
+)
+from repro.linuxk.kthreads import BackgroundPopulation, DEFAULT_POPULATION, NoiseSpec
+
+
+@pytest.fixture
+def kernel():
+    return LinuxKernel(Machine(), "lx", jitter_sigma=0.0)
+
+
+class TestCfs:
+    def test_fwk_defaults(self, kernel):
+        assert HZ == 250
+        assert kernel.tick_hz == 250.0
+        assert kernel.tick_period_ps == ms(4)
+        assert LINUX_NATIVE_TRANSLATION.page_size == 4096
+        assert LINUX_NATIVE_TRANSLATION.s1_depth == 3
+
+    def test_dequeue_picks_min_vruntime(self, kernel):
+        slot = kernel.slots[0]
+        a = Thread("a", iter(()))
+        b = Thread("b", iter(()))
+        a.vruntime = 100.0
+        b.vruntime = 50.0
+        kernel.enqueue(slot, a)
+        kernel.enqueue(slot, b)
+        assert kernel.dequeue_next(slot) is b
+        assert kernel.dequeue_next(slot) is a
+
+    def test_sleeper_placement_caps_catchup(self, kernel):
+        """A woken long-sleeper is placed near the queue's fair clock, not
+        infinitely behind (no unbounded monopoly)."""
+        slot = kernel.slots[0]
+        runner = Thread("r", iter(()))
+        runner.vruntime = seconds(10)
+        kernel.enqueue(slot, runner)
+        sleeper = Thread("s", iter(()))
+        sleeper.vruntime = 0.0
+        sleeper.wakeups = 1
+        sleeper.state = ThreadState.READY
+        kernel.enqueue(slot, sleeper)
+        assert sleeper.vruntime >= seconds(10) - kernel.tick_period_ps * 10_000
+
+    def test_wakeup_preemption_needs_margin(self, kernel):
+        slot = kernel.slots[0]
+        cur = Thread("cur", iter(()))
+        cur.vruntime = float(2 * WAKEUP_GRANULARITY_PS)
+        cur.last_dispatch_ps = 0
+        slot.current = cur
+        eager = Thread("e", iter(()))
+        eager.vruntime = 0.0
+        assert kernel.should_preempt_on_wake(slot, eager)
+        close = Thread("c", iter(()))
+        close.vruntime = cur.vruntime - WAKEUP_GRANULARITY_PS / 2
+        assert not kernel.should_preempt_on_wake(slot, close)
+
+    def test_idle_always_preempted(self, kernel):
+        slot = kernel.slots[0]
+        idle = Thread("idle", iter(()), kind="idle")
+        slot.current = idle
+        w = Thread("w", iter(()))
+        w.vruntime = 1e18
+        assert kernel.should_preempt_on_wake(slot, w)
+
+    def test_quantum_shrinks_with_load(self, kernel):
+        t = Thread("t", iter(()))
+        empty_q = kernel.quantum_ps(t)
+        for i in range(6):
+            kernel.enqueue(kernel.slots[0], Thread(f"x{i}", iter(())))
+        loaded_q = kernel.quantum_ps(t)
+        assert loaded_q < empty_q
+        assert loaded_q >= MIN_GRANULARITY_PS
+
+    def test_on_tick_respects_min_granularity(self, kernel):
+        slot = kernel.slots[0]
+        cur = Thread("cur", iter(()))
+        cur.vruntime = 1e15
+        cur.last_dispatch_ps = kernel.machine.engine.now
+        slot.current = cur
+        kernel.enqueue(slot, Thread("w", iter(())))
+        kernel.on_tick(slot)  # ran for 0 ps < min granularity
+        assert not slot.need_resched
+
+    def test_vruntime_weighted_by_priority(self, kernel):
+        nice0 = Thread("n0", iter(()), priority=100)
+        nice5 = Thread("n5", iter(()), priority=125)  # lower weight
+        assert LinuxKernel._weight(nice0) > LinuxKernel._weight(nice5)
+
+    def test_timer_wheel_rounds_to_jiffies(self, kernel):
+        kernel.boot_on_cores()
+        woken = []
+
+        def body():
+            from repro.kernels.thread import Sleep
+
+            yield Sleep(ms(5))  # between jiffies: rounds up to 8 ms
+            woken.append(kernel.machine.engine.now)
+
+        t = Thread("t", body(), cpu=0)
+        kernel.spawn(t)
+        kernel.machine.engine.run_until(seconds(0.1))
+        assert woken
+        assert woken[0] >= ms(8)
+
+
+class TestBackgroundPopulation:
+    def test_default_population_contents(self):
+        names = {s.name for s in DEFAULT_POPULATION}
+        assert {"kworker", "ksoftirqd", "rcu_sched", "kswapd0"} <= names
+
+    def test_spawn_per_core_and_pinned(self):
+        machine = Machine()
+        kernel = LinuxKernel(machine, "lx")
+        pop = BackgroundPopulation()
+        threads = pop.spawn(kernel)
+        kworkers = [t for t in threads if t.name.startswith("kworker/")]
+        assert len(kworkers) == 4
+        assert sorted(t.cpu for t in kworkers) == [0, 1, 2, 3]
+        assert all(t.kind == "kthread" for t in threads)
+
+    def test_noise_threads_actually_run(self):
+        machine = Machine()
+        kernel = LinuxKernel(machine, "lx")
+        kernel.boot_on_cores()
+        pop = BackgroundPopulation()
+        pop.spawn(kernel)
+        machine.engine.run_until(seconds(2.0))
+        assert pop.total_cpu_ps() > 0
+        # Background load stays a small fraction (quiet-node calibration).
+        assert pop.total_cpu_ps() < seconds(2.0) * 4 * 0.02
+
+    def test_noise_is_deterministic_per_seed(self):
+        def run(seed):
+            from repro.common.rng import RngHub
+
+            machine = Machine(rng=RngHub(seed))
+            kernel = LinuxKernel(machine, "lx")
+            kernel.boot_on_cores()
+            pop = BackgroundPopulation()
+            pop.spawn(kernel)
+            machine.engine.run_until(seconds(1.0))
+            return pop.total_cpu_ps()
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+
+class TestHafniumDriver:
+    def test_driver_creates_fair_class_vcpu_threads(self):
+        node = build_node(CONFIG_HAFNIUM_LINUX, seed=4)
+        vcpus = node.driver.vcpu_threads["compute"]
+        assert len(vcpus) == 4
+        assert all(t.priority == 100 for t in vcpus)
+        assert [t.cpu for t in vcpus] == [0, 1, 2, 3]
+
+    def test_vcpu_threads_compete_with_kworkers(self):
+        """The core of the paper's Linux critique: VCPU threads are plain
+        CFS entities that background work can preempt."""
+        node = build_node(CONFIG_HAFNIUM_LINUX, seed=4)
+        t = Thread("w", iter([ComputePhase(3e8)]), cpu=0, aspace="b")
+        node.spawn_workload_threads([t])
+        node.engine.run_until(node.engine.now + seconds(1.0))
+        vcpu0 = node.driver.vcpu_threads["compute"][0]
+        assert vcpu0.preemptions > 0

@@ -1,0 +1,69 @@
+"""Engine determinism and ordering under randomized stress."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Engine, PRIO_HW, PRIO_LATE
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10_000),   # delay
+            st.sampled_from([PRIO_HW, 10, PRIO_LATE]),    # priority
+        ),
+        min_size=1,
+        max_size=80,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_firing_order_is_time_priority_insertion(specs):
+    eng = Engine()
+    fired = []
+    for idx, (delay, prio) in enumerate(specs):
+        eng.schedule(delay, lambda i=idx: fired.append(i), priority=prio)
+    eng.run()
+    # Expected order: sort by (time, priority, insertion index).
+    expected = [
+        i for i, _ in sorted(
+            enumerate(specs), key=lambda e: (e[1][0], e[1][1], e[0])
+        )
+    ]
+    assert fired == expected
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.integers(1, 40))
+@settings(max_examples=30, deadline=None)
+def test_property_cascading_schedules_deterministic(seed, n):
+    """Two identical runs with self-rescheduling callbacks are identical."""
+
+    def run():
+        import random
+
+        rng = random.Random(seed)
+        eng = Engine()
+        log = []
+
+        def tick(k):
+            log.append((eng.now, k))
+            if k < n:
+                eng.schedule(rng.randrange(1, 1000), tick, k + 1)
+
+        eng.schedule(1, tick, 0)
+        eng.run()
+        return log
+
+    assert run() == run()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_property_cancel_half_fires_other_half(delays):
+    eng = Engine()
+    fired = []
+    events = [
+        eng.schedule(d, lambda i=i: fired.append(i)) for i, d in enumerate(delays)
+    ]
+    for ev in events[::2]:
+        ev.cancel()
+    eng.run()
+    assert sorted(fired) == [i for i in range(len(delays)) if i % 2 == 1]

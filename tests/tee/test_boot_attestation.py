@@ -1,0 +1,140 @@
+"""Measured boot chain and attestation/signature logic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.machine import Machine
+from repro.tee.attestation import (
+    AttestationLog,
+    SignedImage,
+    SigningAuthority,
+    VerificationError,
+    measure,
+)
+from repro.tee.boot import BootChain, BootImage, MeasuredBootError, default_images
+
+
+class TestAttestationLog:
+    def test_extend_records_sha256(self):
+        log = AttestationLog()
+        m = log.extend("bl2", "bl2", b"image-bytes")
+        assert m == measure(b"image-bytes")
+        assert log.entries[0].stage == "bl2"
+
+    def test_quote_depends_on_order_and_content(self):
+        a = AttestationLog()
+        a.extend("s1", "x", b"one")
+        a.extend("s2", "y", b"two")
+        b = AttestationLog()
+        b.extend("s1", "x", b"two")
+        b.extend("s2", "y", b"one")
+        assert a.quote() != b.quote()
+        c = AttestationLog()
+        c.extend("s1", "x", b"one")
+        c.extend("s2", "y", b"two")
+        assert a.quote() == c.quote()
+
+    def test_verify_against(self):
+        log = AttestationLog()
+        log.extend("s", "img", b"data")
+        assert log.verify_against([("img", measure(b"data"))])
+        assert not log.verify_against([("img", measure(b"other"))])
+
+
+class TestBootChain:
+    def test_clean_boot(self):
+        machine = Machine()
+        chain = BootChain(machine)
+        log = chain.run()
+        assert chain.completed
+        assert [s.name for s in chain.stages] == [
+            "bl1", "bl2", "bl31", "hafnium", "primary",
+        ]
+        # Exception levels descend through the chain.
+        assert [s.el for s in chain.stages] == [3, 3, 3, 2, 1]
+        assert len(log.entries) == 4
+        assert machine.trustzone.locked
+
+    def test_boot_locks_tzasc_with_secure_regions(self):
+        machine = Machine()
+        chain = BootChain(machine)
+        base = machine.memmap.dram.base
+        chain.run(secure_regions=[(base, 0x10000)])
+        assert machine.trustzone.is_secure(base)
+        assert machine.trustzone.locked
+
+    def test_tampered_image_detected(self):
+        machine = Machine()
+        golden = BootChain(machine).golden_measurements()
+        images = default_images()
+        tampered = [
+            BootImage(i.name, i.stage, i.data + b"!") if i.stage == "spm" else i
+            for i in images
+        ]
+        chain = BootChain(Machine(), images=tampered, expected=golden)
+        with pytest.raises(MeasuredBootError, match="mismatch"):
+            chain.run()
+
+    def test_expected_measurements_pass_for_genuine_images(self):
+        golden = BootChain(Machine()).golden_measurements()
+        chain = BootChain(Machine(), expected=golden)
+        chain.run()
+        assert chain.completed
+
+    def test_missing_stage_image(self):
+        images = [i for i in default_images() if i.stage != "bl31"]
+        chain = BootChain(Machine(), images=images)
+        with pytest.raises(MeasuredBootError, match="missing boot image"):
+            chain.run()
+
+    def test_double_boot_rejected(self):
+        chain = BootChain(Machine())
+        chain.run()
+        with pytest.raises(MeasuredBootError, match="already completed"):
+            chain.run()
+
+
+class TestSignedImages:
+    def test_sign_and_verify(self):
+        authority = SigningAuthority("vendor")
+        img = SignedImage.create("vm", b"payload", authority)
+        img.verify_with(authority.public_key())
+
+    def test_tampered_payload_rejected(self):
+        authority = SigningAuthority("vendor")
+        img = SignedImage.create("vm", b"payload", authority)
+        bad = SignedImage(img.name, b"p@yload", img.signature, img.authority)
+        with pytest.raises(VerificationError, match="signature verification failed"):
+            bad.verify_with(authority.public_key())
+
+    def test_wrong_authority_rejected(self):
+        vendor = SigningAuthority("vendor")
+        mallory = SigningAuthority("mallory", secret=b"other")
+        img = SignedImage.create("vm", b"payload", mallory)
+        with pytest.raises(VerificationError, match="boot chain trusts"):
+            img.verify_with(vendor.public_key())
+
+    def test_forged_signature_rejected(self):
+        vendor = SigningAuthority("vendor")
+        forged = SignedImage("vm", b"payload", "00" * 32, "vendor")
+        with pytest.raises(VerificationError):
+            forged.verify_with(vendor.public_key())
+
+    @given(st.binary(min_size=0, max_size=200))
+    def test_property_roundtrip_any_payload(self, payload):
+        authority = SigningAuthority("vendor")
+        SignedImage.create("vm", payload, authority).verify_with(
+            authority.public_key()
+        )
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(0, 63))
+    def test_property_bitflip_always_detected(self, payload, byte_idx):
+        authority = SigningAuthority("vendor")
+        img = SignedImage.create("vm", payload, authority)
+        idx = byte_idx % len(payload)
+        flipped = bytes(
+            b ^ 0x01 if i == idx else b for i, b in enumerate(payload)
+        )
+        bad = SignedImage(img.name, flipped, img.signature, img.authority)
+        with pytest.raises(VerificationError):
+            bad.verify_with(authority.public_key())

@@ -1,0 +1,63 @@
+"""FTQ benchmark: per-quantum work accounting across configurations."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.configs import ALL_CONFIGS, build_node
+from repro.workloads.base import WorkloadRun
+from repro.workloads.ftq import FtqBenchmark
+
+
+def run_ftq(config, seed=15, **kw):
+    node = build_node(config, seed=seed)
+    w = FtqBenchmark(**kw)
+    WorkloadRun(node, w)
+    return w
+
+
+class TestMechanics:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FtqBenchmark(quanta=0)
+        with pytest.raises(ConfigurationError):
+            FtqBenchmark().work_samples()
+
+    def test_sample_shape_and_bounds(self):
+        w = run_ftq("native", quanta=100, quantum_us=2000.0)
+        samples = w.work_samples()
+        assert samples.shape == (100,)
+        assert np.all((0.0 <= samples) & (samples <= 1.0))
+
+    def test_quiet_system_is_flat(self):
+        w = run_ftq("native", quanta=100, quantum_us=2000.0)
+        m = w.noise_metrics()
+        # Kitten native: a couple of 10 Hz ticks across 0.2 s of probing.
+        assert m["mean_work"] > 0.999
+        assert m["dipped_quanta"] <= 4
+
+
+class TestAcrossConfigs:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        return {
+            cfg: run_ftq(cfg, quanta=150, quantum_us=4000.0).noise_metrics()
+            for cfg in ALL_CONFIGS
+        }
+
+    def test_noise_ordering(self, metrics):
+        assert (
+            metrics["native"]["noise"]
+            <= metrics["hafnium-kitten"]["noise"]
+            <= metrics["hafnium-linux"]["noise"]
+        )
+
+    def test_linux_dips_most_quanta(self, metrics):
+        """250 Hz ticks dip (nearly) every 4 ms quantum."""
+        assert metrics["hafnium-linux"]["dipped_quanta"] > 5 * max(
+            1, metrics["hafnium-kitten"]["dipped_quanta"]
+        )
+
+    def test_noise_magnitudes_sane(self, metrics):
+        assert metrics["hafnium-linux"]["noise"] < 0.05  # still a quiet node
+        assert metrics["native"]["noise"] < 0.001

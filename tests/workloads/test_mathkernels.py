@@ -1,0 +1,148 @@
+"""Numerical correctness of the reference benchmark implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.workloads import mathkernels as mk
+
+
+class TestStream:
+    def test_verification_exact(self):
+        assert mk.stream_verify(10_000) == 0.0
+
+    def test_kernel_values(self):
+        arrays = mk.stream_kernels(4, scalar=2.0)
+        # a=1,b=2 -> c=a=1; b=2c=2; c=a+b=3; a=b+2c=8
+        assert np.allclose(arrays["c"], 3.0)
+        assert np.allclose(arrays["b"], 2.0)
+        assert np.allclose(arrays["a"], 8.0)
+
+    def test_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            mk.stream_kernels(0)
+
+    @given(st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_any_size_verifies(self, n):
+        assert mk.stream_verify(n) == 0.0
+
+
+class TestGups:
+    def test_updates_are_self_inverse(self):
+        assert mk.gups_verify(10, 3000)
+
+    def test_table_actually_changes(self):
+        table = mk.gups_run(10, 3000)
+        assert not np.array_equal(table, np.arange(1024, dtype=np.uint64))
+
+    @given(st.integers(min_value=4, max_value=12), st.integers(1, 2000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_verify_any_geometry(self, log2n, updates):
+        assert mk.gups_verify(log2n, updates)
+
+
+class TestHpcg:
+    def test_matrix_structure(self):
+        A = mk.hpcg_matrix(4)
+        assert A.shape == (64, 64)
+        # Interior point has 27 nonzeros; corner has 8.
+        nnz_per_row = np.diff(A.indptr)
+        assert nnz_per_row.max() == 27
+        assert nnz_per_row.min() == 8
+        # Symmetric, diagonally dominant (SPD).
+        assert (A != A.T).nnz == 0
+        assert np.all(A.diagonal() == 26.0)
+
+    def test_cg_converges(self):
+        residuals, flops = mk.hpcg_reference(nx=6, iterations=30)
+        assert residuals[-1] < 1e-8 * residuals[0]
+        assert flops > 0
+
+    def test_symgs_reduces_residual(self):
+        A = mk.hpcg_matrix(4)
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(A.shape[0])
+        x0 = np.zeros(A.shape[0])
+        x1 = mk.symgs_sweep(A, x0, b)
+        assert np.linalg.norm(b - A @ x1) < np.linalg.norm(b - A @ x0)
+
+    def test_bad_nx(self):
+        with pytest.raises(ConfigurationError):
+            mk.hpcg_matrix(1)
+
+
+class TestNpbReferences:
+    def test_ep_acceptance_rate_is_pi_over_4(self):
+        n_pairs = 1 << 16
+        accepted, counts = mk.ep_reference(16)
+        assert accepted == counts.sum()
+        assert accepted / n_pairs == pytest.approx(np.pi / 4, abs=0.01)
+
+    def test_ep_annulus_counts_decay(self):
+        _, counts = mk.ep_reference(16)
+        # Gaussian tails: later annuli are rarer.
+        assert counts[0] > counts[2] > counts[4]
+
+    def test_ep_deterministic(self):
+        a = mk.ep_reference(12)
+        b = mk.ep_reference(12)
+        assert a[0] == b[0]
+        assert np.array_equal(a[1], b[1])
+
+    def test_cg_eigenvalue_estimate_converges(self):
+        estimates = mk.npb_cg_reference(n=200, outer=20)
+        # Power iteration converges linearly: steps shrink and the last
+        # two estimates agree to well under a percent.
+        first_step = abs(estimates[1] - estimates[0])
+        last_step = abs(estimates[-1] - estimates[-2])
+        assert last_step < 0.1 * first_step
+        assert last_step < 5e-3 * abs(estimates[-1])
+
+    def test_cg_inner_solver_solves(self):
+        import scipy.sparse as sp
+
+        rng = np.random.default_rng(1)
+        R = sp.random(80, 80, density=0.1, random_state=rng, format="csr")
+        A = R @ R.T + sp.identity(80) * 10.0
+        b = rng.standard_normal(80)
+        x = mk.cg_solve(A.tocsr(), b, iters=200)
+        assert np.linalg.norm(A @ x - b) < 1e-6 * np.linalg.norm(b)
+
+    def test_lu_ssor_residual_decreases(self):
+        residuals = mk.lu_ssor_reference(n=16, sweeps=20)
+        assert residuals[-1] < 0.05 * residuals[0]
+        assert all(b <= a * 1.0001 for a, b in zip(residuals, residuals[1:]))
+
+    def test_adi_energy_decays_monotonically(self):
+        energies = mk.adi_reference(n=16, steps=6)
+        assert all(b < a for a, b in zip(energies, energies[1:]))
+
+    def test_ft_fft_roundtrip_exact(self):
+        err = mk.ft_reference(n=16, steps=3)
+        assert err < 1e-10
+
+    def test_mg_vcycles_converge_fast(self):
+        residuals = mk.mg_vcycle_reference(n=32, cycles=6)
+        # Multigrid: roughly an order of magnitude per V-cycle.
+        assert residuals[-1] < 1e-3 * residuals[0]
+        assert all(b < a for a, b in zip(residuals, residuals[1:]))
+
+    def test_is_bucket_sort_ranks_correct(self):
+        assert mk.is_reference(n_keys=1 << 14, max_key=1 << 9)
+
+    def test_thomas_matches_dense_solve(self):
+        rng = np.random.default_rng(2)
+        n, batch = 12, 3
+        lower = -rng.random((batch, n))
+        upper = -rng.random((batch, n))
+        diag = 4.0 + rng.random((batch, n))
+        rhs = rng.standard_normal((batch, n))
+        x = mk.thomas_solve(lower, diag, upper, rhs)
+        for b in range(batch):
+            M = np.diag(diag[b])
+            M += np.diag(lower[b, 1:], -1)
+            M += np.diag(upper[b, :-1], 1)
+            ref = np.linalg.solve(M, rhs[b])
+            assert np.allclose(x[b], ref, atol=1e-8)
