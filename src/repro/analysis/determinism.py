@@ -1,0 +1,94 @@
+"""Determinism replay checker.
+
+The engine's contract says a (platform config, root seed) pair always
+produces bit-identical traces. This module *mechanises* that claim: build
+a small configuration, run a fixed quickstart workload, digest the full
+trace (every record, the final clock, the event count), and do it again
+with the same seed. Any divergence — an unmanaged RNG, an unordered-set
+iteration that leaked into event order, a wall-clock read — shows up as a
+digest mismatch with no test having to know where the bug lives.
+
+Exposed as ``python -m repro check-determinism``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List
+
+from repro.common.errors import ConfigurationError
+
+#: Simulated compute per core in the quickstart workload (seconds).
+QUICKSTART_COMPUTE_S = 0.01
+
+
+def trace_digest(node) -> str:
+    """SHA-256 over the node's entire trace + terminal engine state.
+
+    Every record contributes (time, category, subject, sorted payload), so
+    any reordering, retiming, or payload drift changes the digest.
+    """
+    h = hashlib.sha256()
+    engine = node.machine.engine
+    h.update(f"now={engine.now};fired={engine.events_fired}".encode())
+    for r in node.machine.tracer.records:
+        h.update(
+            repr((r.time, r.category, r.subject, sorted(r.data.items()))).encode()
+        )
+    return h.hexdigest()
+
+
+def run_quickstart(config: str, seed: int) -> Dict[str, Any]:
+    """Build ``config``, run the quickstart compute workload, and return
+    ``{"digest", "events", "end_ps", "records"}``."""
+    # Imported here so `repro lint` (which imports this module's package)
+    # doesn't drag the whole model stack in.
+    from repro.core.configs import ALL_CONFIGS, build_node
+    from repro.core.node import run_until_done
+    from repro.kernels.phases import ComputePhase
+    from repro.kernels.thread import Thread
+
+    if config not in ALL_CONFIGS:
+        raise ConfigurationError(
+            f"unknown config {config!r} (choose from {', '.join(ALL_CONFIGS)})"
+        )
+    node = build_node(config, seed=seed)
+
+    def body(ops):
+        yield ComputePhase(ops)
+        return "done"
+
+    soc = node.machine.soc
+    ops = QUICKSTART_COMPUTE_S * soc.ipc * soc.freq_hz
+    threads = [
+        Thread(f"det{c}", body(ops), cpu=c, aspace="det")
+        for c in range(soc.num_cores)
+    ]
+    node.spawn_workload_threads(threads)
+    end = run_until_done(node, threads, max_seconds=10.0)
+    return {
+        "digest": trace_digest(node),
+        "events": node.machine.engine.events_fired,
+        "end_ps": end,
+        "records": len(node.machine.tracer),
+    }
+
+
+def check_determinism(
+    config: str = "hafnium-kitten", seed: int = 0xC0FFEE, runs: int = 2
+) -> Dict[str, Any]:
+    """Run ``config`` ``runs`` times with the same seed and diff digests.
+
+    Returns ``{"identical": bool, "digests": [...], "runs": [...]}``.
+    """
+    if runs < 2:
+        raise ConfigurationError("determinism check needs at least 2 runs")
+    results: List[Dict[str, Any]] = [run_quickstart(config, seed) for _ in range(runs)]
+    digests = [r["digest"] for r in results]
+    return {
+        "config": config,
+        "seed": seed,
+        "identical": len(set(digests)) == 1,
+        "digests": digests,
+        "runs": results,
+    }

@@ -1,0 +1,138 @@
+"""Lint-rule plumbing: diagnostics, the rule registry, suppressions.
+
+A rule is a small class with a ``check(ctx)`` generator. Registering it
+(``@register``) is all a future PR needs to do to add a new check; the CLI,
+suppression syntax, and test harness pick it up automatically.
+
+Suppression syntax (documented in README):
+
+* ``x = foo()  # simlint: disable=<rule>[,<rule>...]`` — suppress the
+  named rules on that line only;
+* a standalone comment line ``# simlint: disable=<rule>`` — suppress the
+  named rules for the whole file (conventionally placed near the top,
+  with a comment justifying why);
+* ``disable=all`` works in both positions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Set, Type
+
+
+class Severity(Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where, which rule, how bad, and what to do about it."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity.value} [{self.rule}] {self.message}"
+        )
+
+
+class LintContext:
+    """Everything a rule needs to inspect one file."""
+
+    def __init__(self, path: str, source: str, tree) -> None:
+        self.path = path
+        # Normalised for rule exemptions (e.g. common/rng.py may call
+        # np.random.default_rng — it *is* the managed entry point).
+        self.norm_path = path.replace("\\", "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+
+    def diag(self, rule: "Rule", node, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule.name,
+            severity=rule.severity,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class: subclasses set ``name``/``severity``/``description`` and
+    implement ``check``."""
+
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Rule({self.name}, {self.severity.value})"
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.name:
+        raise ValueError(f"rule {rule_cls.__name__} has no name")
+    if rule_cls.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {rule_cls.name!r}")
+    _REGISTRY[rule_cls.name] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in registration order."""
+    return [cls() for cls in _REGISTRY.values()]
+
+
+def rule_names() -> List[str]:
+    return list(_REGISTRY)
+
+
+# Rule list = comma-separated names; anything after whitespace (e.g. a
+# `-- justification` clause) is ignored.
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+
+class Suppressions:
+    """Parsed ``# simlint: disable=...`` comments of one file."""
+
+    def __init__(self, source: str) -> None:
+        self.file_rules: Set[str] = set()
+        self.line_rules: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            m = _SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            names = {n.strip() for n in m.group(1).split(",") if n.strip()}
+            if line.lstrip().startswith("#"):
+                self.file_rules |= names  # standalone comment: whole file
+            else:
+                self.line_rules.setdefault(lineno, set()).update(names)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        for names in (self.file_rules, self.line_rules.get(line, ())):
+            if rule in names or "all" in names:
+                return True
+        return False
+
+    def apply(self, diags: Iterable[Diagnostic]) -> List[Diagnostic]:
+        return [d for d in diags if not self.suppressed(d.rule, d.line)]

@@ -9,11 +9,18 @@ experiments without writing any Python:
     python -m repro irq-routing             # selective-routing extension
     python -m repro interference            # co-location extension
     python -m repro boot                    # show the measured boot chain
+
+plus the correctness tooling from ``repro.analysis``:
+
+    python -m repro lint                    # simlint static analysis
+    python -m repro check-determinism       # same-seed replay digest diff
+    python -m repro --sanitize <command>    # run with runtime invariant checks
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -114,7 +121,63 @@ def _cmd_boot(args) -> int:
             f"  VM {vm.vm_id} {vm.name:10s} {vm.role.value:15s} "
             f"{len(vm.vcpus)} vcpus  {vm.memory.size // 2**20:5d} MiB"
         )
+    if args.sanitize:
+        from repro.analysis.validators import validate_node
+
+        checks = validate_node(node)
+        print(f"sanitizer: {checks} model validators passed")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    import repro
+    from repro.analysis.rules import Severity
+    from repro.analysis.simlint import lint_paths, summarize
+
+    paths = args.paths or [os.path.dirname(os.path.abspath(repro.__file__))]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        # A typo'd path must not pass vacuously ("0 errors" over 0 files).
+        for p in missing:
+            print(f"repro lint: path does not exist: {p}", file=sys.stderr)
+        return 2
+    diags = lint_paths(paths)
+    for d in diags:
+        print(d.format())
+    print(summarize(diags))
+    errors = sum(1 for d in diags if d.severity == Severity.ERROR)
+    if args.strict:
+        return 1 if diags else 0
+    return 1 if errors else 0
+
+
+def _cmd_check_determinism(args) -> int:
+    from repro.analysis.determinism import check_determinism
+    from repro.common.errors import ConfigurationError
+
+    try:
+        result = check_determinism(config=args.config, seed=args.seed, runs=args.runs)
+    except ConfigurationError as exc:
+        print(f"repro check-determinism: {exc}", file=sys.stderr)
+        return 2
+    for i, (digest, run) in enumerate(zip(result["digests"], result["runs"])):
+        print(
+            f"run {i}: digest {digest[:16]}... "
+            f"({run['records']} records, {run['events']} events, "
+            f"end t={run['end_ps']} ps)"
+        )
+    if result["identical"]:
+        print(
+            f"determinism OK: {args.runs} same-seed runs of "
+            f"{args.config!r} produced identical trace digests"
+        )
+        return 0
+    print(
+        f"DETERMINISM VIOLATION: same-seed runs of {args.config!r} diverged "
+        "(an unmanaged RNG, wall-clock read, or unordered iteration leaked "
+        "into the event order — run `repro lint` and bisect with traces)"
+    )
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -123,6 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the paper's figures and run extension experiments.",
     )
     parser.add_argument("--seed", type=int, default=0xC0FFEE)
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the runtime invariant sanitizer (same as REPRO_SANITIZE=1)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("selfish", help="Figures 4/5/6 (selfish-detour)")
@@ -156,11 +224,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-extensions", action="store_true")
     p.set_defaults(fn=_cmd_campaign)
 
+    p = sub.add_parser(
+        "lint", help="simlint: static determinism/invariant analysis"
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    p.add_argument(
+        "--strict", action="store_true", help="treat warnings as errors"
+    )
+    p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "check-determinism",
+        help="run a config twice with one seed and diff trace digests",
+    )
+    p.add_argument("--config", type=str, default="hafnium-kitten")
+    p.add_argument("--runs", type=int, default=2)
+    p.set_defaults(fn=_cmd_check_determinism)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.sanitize:
+        # The env hook is what Machine reads, so one flag covers every
+        # node built anywhere inside the command.
+        os.environ["REPRO_SANITIZE"] = "1"
     return args.fn(args)
 
 

@@ -7,6 +7,10 @@ regression comparison across library versions.
 
 from __future__ import annotations
 
+# simlint: disable=wall-clock -- the campaign runner reports how long the
+# *host* took to reproduce the figures (`wall_seconds`); nothing inside the
+# simulation reads this clock, so replay determinism is unaffected.
+
 import json
 import time
 from typing import Any, Dict, Optional

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SimulationError
 
 
 class PoolAllocator:
@@ -102,9 +102,26 @@ class PoolAllocator:
         return self.base <= addr < self.base + self.size
 
     def check_invariants(self) -> None:
-        """Free ranges sorted, disjoint, non-adjacent; accounting adds up."""
+        """Free ranges sorted, disjoint, non-adjacent; accounting adds up.
+
+        Raises :class:`SimulationError` (not ``assert``, which `python -O`
+        strips — the exact bug class simlint's ``no-bare-assert`` rule
+        exists to catch; this method is that rule's fixture).
+        """
         for (s1, e1), (s2, e2) in zip(self._free, self._free[1:]):
-            assert s1 < e1, "empty free range"
-            assert e1 < s2, "free ranges overlap or are uncoalesced"
-        assert self._free == sorted(self._free)
-        assert self.free_bytes + self.allocated_bytes == self.size
+            if s1 >= e1:
+                raise SimulationError(f"pool: empty free range {s1:#x}-{e1:#x}")
+            if e1 >= s2:
+                raise SimulationError(
+                    f"pool: free ranges {s1:#x}-{e1:#x} and {s2:#x}-{e2:#x} "
+                    "overlap or are uncoalesced"
+                )
+        if self._free and self._free[-1][0] >= self._free[-1][1]:
+            raise SimulationError("pool: empty free range at tail")
+        if self._free != sorted(self._free):
+            raise SimulationError("pool: free list not sorted")
+        if self.free_bytes + self.allocated_bytes != self.size:
+            raise SimulationError(
+                f"pool: accounting mismatch (free={self.free_bytes:#x} + "
+                f"allocated={self.allocated_bytes:#x} != size={self.size:#x})"
+            )

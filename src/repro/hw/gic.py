@@ -159,7 +159,10 @@ class GicCpuInterface:
 
     def _deliverable(self) -> Optional[int]:
         best: Optional[Tuple[int, int]] = None
-        for irq in self.pending:
+        # sorted(): set order is insertion/hash dependent; the min-reduction
+        # result is order-independent, but iterating deterministically keeps
+        # replay traces bit-identical if the reduction ever grows side effects.
+        for irq in sorted(self.pending):
             if irq not in self.gic.enabled:
                 continue
             prio = self.gic.priority.get(irq, 0xA0)

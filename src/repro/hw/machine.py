@@ -58,6 +58,11 @@ class Machine:
         self.devices: Dict[str, Device] = {}
         if "uart0" in soc.mmio:
             self.devices["uart0"] = Uart(self.engine, self.gic, spi=32)
+        # Runtime sanitizer (REPRO_SANITIZE=1 or `repro --sanitize ...`):
+        # wraps the engine with monotonic-clock/queue/reentrancy checks.
+        from repro.analysis.invariants import attach_if_enabled
+
+        self.sanitizer = attach_if_enabled(self.engine)
 
     def add_device(self, device: Device) -> None:
         self.devices[device.name] = device

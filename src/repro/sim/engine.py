@@ -145,10 +145,18 @@ class Engine:
         return sum(1 for _, _, _, ev in self._queue if ev.pending)
 
     def peek_time(self) -> Optional[int]:
-        """Timestamp of the next pending event, or None."""
-        for time, _, _, ev in sorted(self._queue)[:]:
+        """Timestamp of the next pending event, or None.
+
+        Cancelled events at the head of the heap are popped lazily, so the
+        amortised cost is O(log n) per call rather than the O(n log n) a
+        full sort would pay — ``peek_time`` sits on scheduler idle paths.
+        """
+        queue = self._queue
+        while queue:
+            time, _, _, ev = queue[0]
             if ev.pending:
                 return time
+            heapq.heappop(queue)
         return None
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, List, Optional
 
-from repro.common.errors import SimulationError
+from repro.common.errors import ReproError, SimulationError
 from repro.sim.engine import Engine, Event, Signal
 
 
@@ -92,7 +92,18 @@ class Process:
             # Interrupt escaped the generator: treat as termination.
             self._finish(exception=exc)
             return
-        except Exception as exc:
+        except ReproError as exc:
+            # Engine/model invariant failures are fatal to the whole run:
+            # mark the process dead and propagate with the original type,
+            # WITHOUT waking joiners — the simulation is aborting, and a
+            # joiner resuming with result=None would let model code react
+            # to a crash as if the process had completed normally.
+            self.alive = False
+            self.exception = exc
+            raise
+        # Coroutine boundary: _finish records the crash on the process and
+        # re-raises every non-Interrupted exception with its original type.
+        except Exception as exc:  # simlint: disable=broad-except -- _finish re-raises
             self._finish(exception=exc)
             return
         self._arm(item)

@@ -18,6 +18,8 @@ def test_parser_has_all_commands():
         "interference",
         "boot",
         "campaign",
+        "lint",
+        "check-determinism",
     }
 
 

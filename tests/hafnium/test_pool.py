@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SimulationError
 from repro.hafnium.pool import PoolAllocator
 
 MiB = 1024 * 1024
@@ -111,3 +111,30 @@ def test_property_invariants_under_random_workload(ops):
     p.check_invariants()
     assert p.free_bytes == 128 * MiB
     assert p.fragment_count == 1
+
+
+def test_check_invariants_raises_simulation_error_not_assert():
+    # Invariant failures must survive `python -O`, so they raise
+    # SimulationError instead of asserting.
+    p = pool()
+    p.allocate(10 * MiB)
+    p.check_invariants()
+
+    empty = pool()
+    empty._free = [(0x8000_0000, 0x8000_0000)]
+    with pytest.raises(SimulationError, match="empty free range"):
+        empty.check_invariants()
+
+    split = pool()
+    split._free = [
+        (0x8000_0000, 0x8010_0000),
+        (0x8010_0000, 0x8020_0000),
+    ]
+    with pytest.raises(SimulationError, match="uncoalesced"):
+        split.check_invariants()
+
+    leak = pool()
+    leak.allocate(10 * MiB)
+    leak._allocated.clear()
+    with pytest.raises(SimulationError, match="accounting mismatch"):
+        leak.check_invariants()

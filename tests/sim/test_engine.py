@@ -201,3 +201,59 @@ class TestSignal:
         sig.fire("b")
         assert sig.fire_count == 2
         assert sig.last_payload == "b"
+
+
+class TestPeekTime:
+    def test_empty_queue_returns_none(self):
+        assert Engine().peek_time() is None
+
+    def test_returns_next_pending_time_without_advancing(self):
+        eng = Engine()
+        eng.schedule(30, lambda: None)
+        eng.schedule(10, lambda: None)
+        assert eng.peek_time() == 10
+        assert eng.now == 0
+
+    def test_skips_cancelled_head_lazily(self):
+        eng = Engine()
+        first = eng.schedule(10, lambda: None)
+        eng.schedule(20, lambda: None)
+        eng.schedule(30, lambda: None)
+        first.cancel()
+        assert eng.peek_time() == 20
+        # The cancelled head was popped, not re-scanned on the next call.
+        assert len(eng._queue) == 2
+
+    def test_all_cancelled_drains_to_none(self):
+        eng = Engine()
+        events = [eng.schedule(t, lambda: None) for t in (10, 20, 30)]
+        for ev in events:
+            ev.cancel()
+        assert eng.peek_time() is None
+        assert eng._queue == []
+
+    def test_mass_cancellation_keeps_only_survivor(self):
+        # Regression: peek_time used to sort the whole heap per call; the
+        # lazy-pop version must still find the single survivor among many
+        # cancelled entries and discard the rest.
+        eng = Engine()
+        doomed = [eng.schedule(t, lambda: None) for t in range(1, 1001)]
+        survivor = eng.schedule(5000, lambda: None)
+        for ev in doomed:
+            ev.cancel()
+        assert eng.peek_time() == 5000
+        assert len(eng._queue) == 1
+        survivor.cancel()
+        assert eng.peek_time() is None
+
+    def test_peek_does_not_disturb_firing_order(self):
+        eng = Engine()
+        log = []
+        cancelled = eng.schedule(1, log.append, "x")
+        eng.schedule(5, log.append, "a")
+        eng.schedule(7, log.append, "b")
+        cancelled.cancel()
+        assert eng.peek_time() == 5
+        eng.run()
+        assert log == ["a", "b"]
+        assert eng.now == 7

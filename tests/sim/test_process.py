@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import SimulationError
 from repro.sim.engine import Engine, Signal
 from repro.sim.process import Process, Timeout, WaitSignal, Interrupted
 
@@ -224,3 +225,26 @@ def test_unsupported_yield_raises():
     Process(eng, body())
     with pytest.raises(Exception):
         eng.run()
+
+
+def test_repro_error_propagates_without_waking_joiners():
+    # ReproError subclasses are fatal engine/model invariant failures:
+    # they must escape with their original type and must NOT resume
+    # joiners as if the crashed process had completed.
+    eng = Engine()
+    woken = []
+
+    def crasher():
+        yield Timeout(10)
+        raise SimulationError("invariant broken")
+
+    def joiner(target):
+        woken.append((yield target))
+
+    crash = Process(eng, crasher(), "crash")
+    Process(eng, joiner(crash), "join")
+    with pytest.raises(SimulationError, match="invariant broken"):
+        eng.run()
+    assert not crash.alive
+    assert isinstance(crash.exception, SimulationError)
+    assert woken == []
