@@ -80,9 +80,15 @@ def check_determinism(
     """Run ``config`` ``runs`` times with the same seed and diff digests.
 
     Returns ``{"identical": bool, "digests": [...], "runs": [...]}``.
+    ``config="all"`` sweeps every evaluated configuration *plus* one
+    fault-injection scenario (the campaign smoke run), so the replay
+    guarantee is checked on the failure paths too; the result then has a
+    per-config ``"sweep"`` mapping and top-level ``identical`` is the AND.
     """
     if runs < 2:
         raise ConfigurationError("determinism check needs at least 2 runs")
+    if config == "all":
+        return _check_all(seed, runs)
     results: List[Dict[str, Any]] = [run_quickstart(config, seed) for _ in range(runs)]
     digests = [r["digest"] for r in results]
     return {
@@ -91,4 +97,26 @@ def check_determinism(
         "identical": len(set(digests)) == 1,
         "digests": digests,
         "runs": results,
+    }
+
+
+def _check_all(seed: int, runs: int) -> Dict[str, Any]:
+    from repro.core.configs import ALL_CONFIGS
+    from repro.faults.campaign import run_smoke
+
+    sweep: Dict[str, Any] = {}
+    for cfg in ALL_CONFIGS:
+        sweep[cfg] = check_determinism(cfg, seed, runs)
+    fault_digests = [run_smoke(seed)["digest"] for _ in range(runs)]
+    sweep["faults-smoke"] = {
+        "config": "faults-smoke",
+        "seed": seed,
+        "identical": len(set(fault_digests)) == 1,
+        "digests": fault_digests,
+    }
+    return {
+        "config": "all",
+        "seed": seed,
+        "identical": all(entry["identical"] for entry in sweep.values()),
+        "sweep": sweep,
     }

@@ -24,6 +24,9 @@ rule                      severity  flags
 ``unordered-iter``        error     iteration over ``set``-typed containers in model
                                     code (iteration order is insertion/hash dependent;
                                     wrap in ``sorted()``)
+``mutable-default-arg``   error     list/dict/set (literal, comprehension, or
+                                    constructor) default argument values — shared
+                                    across calls, so state leaks between runs
 ========================  ========  ===================================================
 
 Every rule honours ``# simlint: disable=<rule>`` suppressions (line-level
@@ -414,6 +417,54 @@ class UnorderedIterRule(Rule):
                     if isinstance(target, ast.Name):
                         names.add(target.id)
         return names
+
+
+_MUTABLE_CTORS = ("list", "dict", "set", "bytearray", "defaultdict", "deque")
+
+
+@register
+class MutableDefaultArgRule(Rule):
+    name = "mutable-default-arg"
+    severity = Severity.ERROR
+    description = (
+        "a mutable default is evaluated once and shared by every call — "
+        "state leaks across invocations (and across same-seed replay runs); "
+        "default to None and create the container in the body"
+    )
+
+    @staticmethod
+    def _is_mutable_default(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = _dotted_name(node.func)
+            return name is not None and name.split(".")[-1] in _MUTABLE_CTORS
+        return False
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            # Positional defaults align right against (posonly + args);
+            # kw-only defaults align 1:1 (None = no default).
+            positional = list(getattr(args, "posonlyargs", [])) + list(args.args)
+            pos_pairs = zip(positional[len(positional) - len(args.defaults):],
+                            args.defaults)
+            kw_pairs = (
+                (a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
+                if d is not None
+            )
+            for arg, default in list(pos_pairs) + list(kw_pairs):
+                if self._is_mutable_default(default):
+                    yield ctx.diag(
+                        self,
+                        default,
+                        f"mutable default for argument `{arg.arg}`; use None "
+                        "and construct the container inside the function",
+                    )
 
 
 # ---------------------------------------------------------------------------

@@ -91,9 +91,15 @@ class Spm:
             "internal_virq_handled": 0,
             "exits_to_primary": 0,
             "aborts": 0,
+            "forced_aborts": 0,
+            "vm_resets": 0,
             "forwarded_device_irqs": 0,
             "direct_device_irqs": 0,
         }
+        #: optional liveness monitor (:class:`repro.faults.watchdog.Watchdog`);
+        #: when attached, every vcpu_run entry beats it and abort exits
+        #: notify it synchronously.
+        self.watchdog: Optional[Any] = None
         #: "forwarded" = the paper's interim design (all IRQs to the
         #: primary, which forwards device IRQs on); "direct" = the
         #: selective-routing future design (the SPM claims device IRQs at
@@ -323,6 +329,72 @@ class Spm:
         return {"ok": True}
         yield  # pragma: no cover
 
+    # -- fault containment and recovery ------------------------------------------
+
+    def force_abort(self, vm_name: str, reason: str) -> None:
+        """Forcibly abort a secondary VM (the SPM's synchronous response
+        to an unrecoverable fault attributed to that partition, e.g. an
+        uncorrectable ECC error in its memory). Resident VCPUs are kicked
+        off their cores; parked ones are marked aborted, so every pending
+        and future ``vcpu_run`` returns an abort exit."""
+        vm = self.vm_by_name(vm_name)
+        if vm.is_primary:
+            raise HypercallError("cannot force-abort the primary VM")
+        if vm.aborted:
+            return
+        vm.aborted = True
+        self.stats["forced_aborts"] += 1
+        self.machine.trace("spm.force_abort", "spm", vm=vm.name, reason=reason)
+        for vcpu in vm.vcpus:
+            if vcpu.state == VcpuState.WFI:
+                vcpu.state = VcpuState.ABORTED
+            vcpu.wake_signal.fire("abort")
+            core = vcpu.resident_core
+            if (
+                core is not None
+                and core.loop_process is not None
+                and core.loop_process.alive
+            ):
+                # The guest is on-core right now: interrupt it out. The
+                # Interrupted lands in a guest (or SPM) frame and becomes
+                # an interrupt exit; re-entry then observes vm.aborted.
+                core.loop_process.interrupt("force_abort")
+        if self.watchdog is not None:
+            self.watchdog.vm_aborted(vm.vm_id, reason)
+
+    def reset_vm(self, vm_name: str) -> Vm:
+        """Reset an aborted/halted secondary for restart: fresh VCPUs and
+        kernel, drained mailbox, re-wired device IRQs. The caller (the
+        recovery manager) must have quiesced the VM first — no VCPU may
+        still be resident on a physical core."""
+        vm = self.vm_by_name(vm_name)
+        if vm.is_primary:
+            raise HypercallError("the primary VM cannot be reset")
+        for vcpu in vm.vcpus:
+            if vcpu.state == VcpuState.RUNNING:
+                raise SimulationError(
+                    f"reset_vm({vm.name}): VCPU {vcpu.idx} is still resident"
+                )
+        # Drop virtual-timer ownership held by the outgoing VCPUs.
+        for core_id in sorted(self._vtimer_owner):
+            if self._vtimer_owner[core_id].vm is vm:
+                del self._vtimer_owner[core_id]
+        vm.reset_for_restart()
+        # Drain any stale message left by the crashed incarnation.
+        box = self.mailboxes[vm.vm_id]
+        while box.retrieve() is not None:
+            pass
+        self._attach_kernel(vm)
+        # The new boot VCPU re-registers the VM's device interrupts.
+        for spi in sorted(self.device_irq_to_vm):
+            if self.device_irq_to_vm[spi] is vm:
+                vm.vcpus[0].vgic.enable(spi)
+        self.stats["vm_resets"] += 1
+        self.machine.trace(
+            "spm.vm_reset", "spm", vm=vm.name, restarts=vm.restarts
+        )
+        return vm
+
     # -- mailboxes ---------------------------------------------------------------
 
     def _hyp_mailbox_send(
@@ -474,6 +546,8 @@ class Spm:
                     "spm.abort", "spm", vm=target.name, vcpu=vcpu_idx,
                     detail=repr(exit_exc.detail),
                 )
+                if self.watchdog is not None:
+                    self.watchdog.vm_aborted(target.vm_id, repr(exit_exc.detail))
                 return {"reason": "abort", "detail": exit_exc.detail}
             raise SimulationError(f"unclassified VM exit {exit_exc!r}")
 

@@ -63,6 +63,7 @@ class Vm:
     ):
         self.vm_id = vm_id
         self.spec = spec
+        self.engine = engine
         self.name = spec.name
         self.role = spec.role
         self.secure = spec.secure
@@ -72,7 +73,17 @@ class Vm:
         self.vcpus = [Vcpu(self, i, engine) for i in range(spec.vcpus)]
         self.halt_requested = False
         self.aborted = False
+        self.restarts = 0
         self.boot_measurement: Optional[str] = None  # filled by the boot chain
+
+    def reset_for_restart(self) -> None:
+        """Discard execution state ahead of a restart: fresh VCPUs, flags
+        cleared. The partition's memory region and stage-2 table persist —
+        Hafnium cannot reallocate partitions, so a restart reuses them."""
+        self.vcpus = [Vcpu(self, i, self.engine) for i in range(self.spec.vcpus)]
+        self.halt_requested = False
+        self.aborted = False
+        self.restarts += 1
 
     @property
     def is_primary(self) -> bool:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
-from repro.common.errors import SimulationError
+from repro.common.errors import HardwareFault, SimulationError
 
 
 class DramBus:
@@ -26,6 +26,22 @@ class DramBus:
         self._active: Set[int] = set()
         self.peak_streams = 0
         self.registrations = 0
+        self.bus_errors = 0
+
+    def raise_bus_error(
+        self, address: int, *, cpu_index=None, origin_vm=None
+    ) -> None:
+        """Signal an uncorrectable transfer error on the memory bus
+        (fault-injection hook: an SLVERR/DECERR response on the AXI
+        interconnect). Always raises :class:`HardwareFault`."""
+        self.bus_errors += 1
+        raise HardwareFault(
+            f"{self.name}: uncorrectable bus error at {address:#x}",
+            address=address,
+            fault_type="bus",
+            cpu_index=cpu_index,
+            origin_vm=origin_vm,
+        )
 
     def register(self, stream_id: int) -> None:
         if stream_id in self._active:

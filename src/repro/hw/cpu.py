@@ -141,6 +141,7 @@ class Core:
                 f"core{self.core_id}: access to unmapped PA {pa:#x}",
                 address=pa,
                 fault_type="bus",
+                cpu_index=self.core_id,
             )
         return pa
 

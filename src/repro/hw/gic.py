@@ -50,6 +50,9 @@ class Gic:
             GicCpuInterface(self, c) for c in range(num_cores)
         ]
         self.stats_delivered: Dict[int, int] = {}
+        self.dropped: Dict[int, int] = {}
+        #: (core, irq) -> remaining assertions to silently lose (fault hook)
+        self._drop_next: Dict[Tuple[int, int], int] = {}
 
     # -- configuration -----------------------------------------------------
 
@@ -133,6 +136,49 @@ class Gic:
         if self.classify(irq) == "spi":
             self.cpu_ifaces[self.spi_target.get(irq, 0)].set_pending(irq)
 
+    # -- fault injection -------------------------------------------------------
+
+    def drop_pending(self, irq: int, core: Optional[int] = None) -> bool:
+        """Silently lose a pending (not yet acked) interrupt — the
+        fault-injection hook for a glitched/lost IRQ. The level state is
+        cleared too, so the line will not re-pend on its own: the device
+        thinks it delivered, the CPU never sees it. Returns True if a
+        pending instance was actually discarded."""
+        self.level_state[irq] = False
+        dropped = False
+        for c in self._targets(irq, core):
+            if irq in self.cpu_ifaces[c].pending:
+                self.cpu_ifaces[c].pending.discard(irq)
+                dropped = True
+        if dropped:
+            self.dropped[irq] = self.dropped.get(irq, 0) + 1
+        return dropped
+
+    def arm_drop_next(
+        self, irq: int, core: Optional[int] = None, count: int = 1
+    ) -> None:
+        """Arm the distributor to silently lose the next `count` assertions
+        of `irq` toward its target core(s) — the deterministic variant of
+        :meth:`drop_pending` for lines whose pending window is too short to
+        catch in flight."""
+        if count < 1:
+            raise ConfigurationError("arm_drop_next needs count >= 1")
+        for c in self._targets(irq, core):
+            key = (c, irq)
+            self._drop_next[key] = self._drop_next.get(key, 0) + count
+
+    def _consume_armed_drop(self, core: int, irq: int) -> bool:
+        key = (core, irq)
+        remaining = self._drop_next.get(key, 0)
+        if remaining <= 0:
+            return False
+        if remaining == 1:
+            del self._drop_next[key]
+        else:
+            self._drop_next[key] = remaining - 1
+        self.dropped[irq] = self.dropped.get(irq, 0) + 1
+        return True
+
 
 class GicCpuInterface:
     """Per-core view: pending/active sets + delivery callback."""
@@ -149,6 +195,8 @@ class GicCpuInterface:
     # -- signal path ---------------------------------------------------------
 
     def set_pending(self, irq: int) -> None:
+        if self.gic._consume_armed_drop(self.core_id, irq):
+            return  # injected fault: this assertion is silently lost
         if irq in self.active:
             return  # already being handled; level stays noted via gic state
         self.pending.add(irq)

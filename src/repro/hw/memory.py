@@ -62,6 +62,11 @@ class PhysicalMemoryMap:
             self.add_region(MemoryRegion(name, base, size, RegionKind.MMIO))
         # Sparse backing store: byte offset (8-aligned) -> 64-bit word.
         self._words: Dict[int, int] = {}
+        # Words whose ECC state is detected-uncorrectable (fault injection
+        # flipped bits past SEC-DED's correction ability): the consuming
+        # load takes a synchronous external abort.
+        self._poisoned: set = set()
+        self.ecc_faults = 0
 
     # -- region management -------------------------------------------------
 
@@ -98,32 +103,72 @@ class PhysicalMemoryMap:
 
     # -- backing store -------------------------------------------------------
 
-    def _check_dram(self, addr: int, length: int) -> None:
+    def _check_dram(
+        self, addr: int, length: int, *, cpu_index=None, origin_vm=None
+    ) -> None:
         region = self.region_at(addr)
         if region is None or region.kind != RegionKind.DRAM or not region.contains(addr, length):
             raise HardwareFault(
                 f"bus error: physical access to {addr:#x} (+{length})",
                 address=addr,
                 fault_type="bus",
+                cpu_index=cpu_index,
+                origin_vm=origin_vm,
             )
 
-    def write_word(self, addr: int, value: int) -> None:
+    def write_word(self, addr: int, value: int, *, cpu_index=None, origin_vm=None) -> None:
         """Write a 64-bit word to DRAM (addr must be 8-byte aligned)."""
         if addr % 8:
             raise HardwareFault(
-                f"unaligned word write at {addr:#x}", address=addr, fault_type="align"
+                f"unaligned word write at {addr:#x}", address=addr,
+                fault_type="align", cpu_index=cpu_index, origin_vm=origin_vm,
             )
-        self._check_dram(addr, 8)
+        self._check_dram(addr, 8, cpu_index=cpu_index, origin_vm=origin_vm)
+        self._poisoned.discard(addr)  # a full-word write scrubs the ECC state
         self._words[addr] = value & 0xFFFF_FFFF_FFFF_FFFF
 
-    def read_word(self, addr: int) -> int:
+    def read_word(self, addr: int, *, cpu_index=None, origin_vm=None) -> int:
         """Read a 64-bit word from DRAM; uninitialized memory reads 0."""
         if addr % 8:
             raise HardwareFault(
-                f"unaligned word read at {addr:#x}", address=addr, fault_type="align"
+                f"unaligned word read at {addr:#x}", address=addr,
+                fault_type="align", cpu_index=cpu_index, origin_vm=origin_vm,
             )
-        self._check_dram(addr, 8)
+        self._check_dram(addr, 8, cpu_index=cpu_index, origin_vm=origin_vm)
+        if addr in self._poisoned:
+            self.ecc_faults += 1
+            raise HardwareFault(
+                f"uncorrectable ECC error on load from {addr:#x}",
+                address=addr,
+                fault_type="ecc",
+                cpu_index=cpu_index,
+                origin_vm=origin_vm,
+            )
         return self._words.get(addr, 0)
+
+    # -- fault injection -----------------------------------------------------
+
+    def flip_bit(self, addr: int, bit: int, *, correctable: bool = False) -> int:
+        """Flip one DRAM bit in place (fault-injection hook).
+
+        Models a radiation/Rowhammer-style upset: the stored word changes
+        and — unless ``correctable`` (SEC-DED fixes single flips silently)
+        — the word is marked poisoned, so the next ``read_word`` raises a
+        :class:`HardwareFault` with ``fault_type="ecc"``. Returns the new
+        word value."""
+        if addr % 8:
+            raise ConfigurationError(f"flip_bit needs an 8-aligned address, got {addr:#x}")
+        if not 0 <= bit < 64:
+            raise ConfigurationError(f"flip_bit bit index {bit} out of range")
+        self._check_dram(addr, 8)
+        value = self._words.get(addr, 0) ^ (1 << bit)
+        self._words[addr] = value
+        if not correctable:
+            self._poisoned.add(addr)
+        return value
+
+    def is_poisoned(self, addr: int) -> bool:
+        return addr in self._poisoned
 
     def write_bytes(self, addr: int, data: bytes) -> None:
         """Write a byte string (addr 8-aligned; zero-padded to words)."""

@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generator, List, Optional, TYPE_CHECKING
 
 from repro.common.errors import ConfigurationError, SimulationError
-from repro.common.units import hz_to_period_ps
+from repro.common.units import hz_to_period_ps, ms
 from repro.hw.cpu import Core
 from repro.hw.gic import PPI_VIRT_TIMER
 from repro.kernels.phases import Phase, PricingContext
@@ -80,6 +80,10 @@ class CpuSlot:
         self.tick_armed = False
         self.ticks = 0
         self.idle_ps = 0
+        #: fault injection: while `Engine.now < stall_until_ps` this CPU
+        #: wedges (consumes time without dispatching) — a modeled lockup.
+        self.stall_until_ps = 0
+        self.stalls = 0
 
     def __repr__(self) -> str:  # pragma: no cover
         cur = self.current.name if self.current else "-"
@@ -120,6 +124,11 @@ class KernelBase:
         self.vm_id: Optional[int] = None
         self.irq_handlers: Dict[int, Callable] = {}
         self.shutdown = False
+        #: fault injection: a requested kernel panic (reason string). The
+        #: next dispatch boundary raises it — guests abort their VM, hosts
+        #: stop scheduling (the node-level failure the paper's isolation
+        #: argument is about containing).
+        self.panic_requested: Optional[str] = None
         self._timer_channel = "virt" if self.is_guest else "phys"
         self._jitter_stream = machine.rng.stream(f"jitter.{name}")
         self._jitter_sigma = jitter_sigma
@@ -208,6 +217,42 @@ class KernelBase:
         if thread.done_signal is not None:
             thread.done_signal.fire(thread.exit_value)
 
+    def kill_thread(self, thread: Thread, reason: str = "killed") -> None:
+        """Forcibly terminate a thread (fault injection / recovery path).
+
+        NEW/READY/BLOCKED threads are reaped immediately; a RUNNING thread
+        is flagged and reaped at its next dispatch boundary — the flag plus
+        a resched IPI model the kill signal interrupting the core.
+        """
+        if thread.state is ThreadState.DEAD:
+            return
+        thread.crashed = reason
+        slot = self.slots[thread.cpu]
+        if thread.state is ThreadState.RUNNING:
+            slot.need_resched = True
+            if not self.is_guest and slot.core is not None:
+                self.machine.gic.send_sgi(SGI_RESCHED, slot.core.core_id)
+            return
+        if thread in slot.runqueue:
+            slot.runqueue.remove(thread)
+        self._reap_crashed(slot, thread)
+
+    def _reap_crashed(self, slot: CpuSlot, thread: Thread) -> None:
+        thread.body.close()
+        thread.current_item = None
+        thread.state = ThreadState.DEAD
+        if slot.current is thread:
+            slot.current = None
+        self.machine.trace(
+            "thread.killed",
+            f"{self.name}",
+            thread=thread.name,
+            cpu=slot.index,
+            reason=thread.crashed or "killed",
+        )
+        if thread.done_signal is not None:
+            thread.done_signal.fire(thread.exit_value)
+
     # ------------------------------------------------------------------
     # Boot
     # ------------------------------------------------------------------
@@ -261,7 +306,20 @@ class KernelBase:
                     slot.vcpu.vgic.enable(spi)
             self._arm_tick(slot)
         while not self.shutdown:
+            if self.panic_requested is not None:
+                yield from self._do_panic(slot)
+                return
+            if slot.stall_until_ps > self.machine.engine.now:
+                yield from self._stall(slot)
+                continue
             if self.is_guest:
+                if self.spm is not None and self.spm.watchdog is not None:
+                    # Reaching the dispatch boundary proves this VCPU makes
+                    # forward progress — the heartbeat the SPM's watchdog
+                    # deadline tracks. (Deliberately after the stall check:
+                    # a wedged VCPU must stop beating, even though the
+                    # primary keeps re-entering it on interrupt exits.)
+                    self.spm.watchdog.beat(self.vm_id, slot.index)
                 yield from self._deliver_virqs(slot)
             yield from self._poll_irqs(slot)
             thread = slot.current
@@ -298,6 +356,8 @@ class KernelBase:
         if thread is None:
             return
         while thread.state is ThreadState.RUNNING and not slot.need_resched:
+            if thread.crashed is not None:
+                break
             if self._irq_pending(slot):
                 yield from self._poll_irqs(slot)
                 continue
@@ -314,6 +374,11 @@ class KernelBase:
                 if thread.state is ThreadState.BLOCKED:
                     slot.current = None
                 return
+        if thread.crashed is not None and thread.state is ThreadState.RUNNING:
+            # Marked for forcible termination (kill IPI): reap instead of
+            # requeueing.
+            self._reap_crashed(slot, thread)
+            return
         if thread.state is ThreadState.RUNNING:
             # Preempted: back on the queue.
             thread.state = ThreadState.READY
@@ -378,6 +443,8 @@ class KernelBase:
         try:
             thread.pending_send = core.touch(item.va, item.access)
         except (HardwareFault, SecurityViolation) as fault:
+            if isinstance(fault, HardwareFault):
+                fault.annotate(cpu_index=core.core_id, origin_vm=self.name)
             self.machine.trace(
                 "fault",
                 f"{self.name}.cpu{slot.index}",
@@ -546,6 +613,67 @@ class KernelBase:
             core.cpu_iface.set_masked(True)
             slot.idle_ps += engine.now - t0
             yield from self._on_interruption(slot)
+
+    # ------------------------------------------------------------------
+    # Fault injection: panic and stall
+    # ------------------------------------------------------------------
+
+    def panic(self, reason: str) -> None:
+        """Request a kernel panic. Noticed at the next dispatch boundary
+        of any CPU: a guest kernel aborts its VM (the SPM contains it to
+        the partition), a host kernel stops scheduling (node failure).
+        Running threads are preempted via resched IPIs (panics interrupt,
+        they don't wait for cooperative yields)."""
+        if self.panic_requested is not None:
+            return
+        self.panic_requested = reason
+        for slot in self.slots:
+            slot.need_resched = True
+            if not self.is_guest and slot.core is not None:
+                self.machine.gic.send_sgi(SGI_RESCHED, slot.core.core_id)
+
+    def _do_panic(self, slot: CpuSlot) -> Generator:
+        from repro.hafnium.exits import VmExitAbort
+
+        reason = self.panic_requested or "panic"
+        self.machine.trace(
+            "kernel.panic", f"{self.name}.cpu{slot.index}", reason=reason
+        )
+        # Panic path: dump state, then stop. Modeled as a fixed cost.
+        yield from self._consume(slot, self.machine.perf.cycles(5_000))
+        if self.is_guest:
+            raise VmExitAbort({"panic": reason, "vm": self.name})
+        self.shutdown = True
+
+    def stall_cpu(self, index: int, duration_ps: int) -> None:
+        """Wedge CPU slot `index` for `duration_ps` (injected lockup).
+        The slot consumes time without dispatching threads or handling
+        its tick — the failure mode a heartbeat watchdog exists for."""
+        if not 0 <= index < len(self.slots):
+            raise ConfigurationError(f"{self.name}: no CPU slot {index}")
+        slot = self.slots[index]
+        slot.stall_until_ps = self.machine.engine.now + max(0, duration_ps)
+        slot.stalls += 1
+
+    def _stall(self, slot: CpuSlot) -> Generator:
+        """Burn time while `slot.stall_until_ps` is in the future. IRQs
+        stay masked (a hard lockup): hosts accumulate pending interrupts,
+        guests stop producing heartbeats. An external `interrupt()` on the
+        core (e.g. the SPM forcibly aborting the VM) still lands — for
+        guests it becomes an interrupt exit, after which re-entry resumes
+        the stall until it expires or the VM is torn down."""
+        engine = self.machine.engine
+        self.machine.trace(
+            "cpu.stall", f"{self.name}.cpu{slot.index}",
+            until_ps=slot.stall_until_ps,
+        )
+        while engine.now < slot.stall_until_ps and not self.shutdown:
+            remaining = slot.stall_until_ps - engine.now
+            try:
+                yield Timeout(min(remaining, ms(1)))
+            except Interrupted:
+                yield from self._on_interruption(slot)
+        slot.stall_until_ps = 0
 
     # ------------------------------------------------------------------
     # Interrupt paths

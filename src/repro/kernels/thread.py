@@ -176,6 +176,10 @@ class Thread:
         self.state = ThreadState.NEW
         self.current_item: Optional[Any] = None
         self.pending_send: Any = None
+        #: non-None marks the thread for forcible termination (fault
+        #: injection / recovery); the owning kernel reaps it at the next
+        #: dispatch boundary via ``KernelBase.kill_thread``.
+        self.crashed: Optional[str] = None
         # Scheduler bookkeeping (used by whichever scheduler owns it).
         self.vruntime: float = 0.0
         self.quantum_left_ps: int = 0

@@ -81,3 +81,22 @@ def test_cli_check_determinism_clean_error_on_bad_args(capsys):
     assert "unknown config" in capsys.readouterr().err
     assert main(["check-determinism", "--runs", "1"]) == 2
     assert "at least 2" in capsys.readouterr().err
+
+
+def test_all_sweep_covers_configs_and_fault_scenario():
+    result = check_determinism(config="all", seed=123, runs=2)
+    assert result["identical"]
+    expected = {"native", "hafnium-kitten", "hafnium-linux", "faults-smoke"}
+    assert set(result["sweep"]) == expected
+    for entry in result["sweep"].values():
+        assert entry["identical"]
+        assert len(set(entry["digests"])) == 1
+
+
+def test_cli_check_determinism_all_sweep(capsys):
+    from repro.cli import main
+
+    assert main(["check-determinism", "--config", "all"]) == 0
+    out = capsys.readouterr().out
+    assert "faults-smoke" in out
+    assert "fault-injection smoke replayed" in out

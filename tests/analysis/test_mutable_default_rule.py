@@ -1,0 +1,92 @@
+"""The mutable-default-arg simlint rule."""
+
+from repro.analysis.simlint import lint_source
+
+
+def hits(source):
+    return [
+        d for d in lint_source(source) if d.rule == "mutable-default-arg"
+    ]
+
+
+def test_literal_defaults_flagged():
+    src = "def f(a=[], b={}, c={1, 2}):\n    pass\n"
+    found = hits(src)
+    assert len(found) == 3
+    assert "argument `a`" in found[0].message
+
+
+def test_constructor_defaults_flagged():
+    src = (
+        "def f(a=list(), b=dict(x=1), c=set(), d=bytearray()):\n"
+        "    pass\n"
+    )
+    assert len(hits(src)) == 4
+
+
+def test_comprehension_defaults_flagged():
+    src = "def f(a=[x for x in range(3)], b={x: x for x in range(3)}):\n    pass\n"
+    assert len(hits(src)) == 2
+
+
+def test_kwonly_and_lambda_defaults_flagged():
+    src = "def f(*, cache=[]):\n    pass\ng = lambda acc={}: acc\n"
+    assert len(hits(src)) == 2
+
+
+def test_method_defaults_flagged():
+    src = (
+        "class C:\n"
+        "    def m(self, items=[]):\n"
+        "        return items\n"
+    )
+    assert len(hits(src)) == 1
+
+
+def test_immutable_defaults_clean():
+    src = (
+        "def f(a=None, b=0, c='x', d=(), e=1.5, f=frozenset((1,)), g=b''):\n"
+        "    pass\n"
+    )
+    assert hits(src) == []
+
+
+def test_none_sentinel_pattern_clean():
+    src = (
+        "def f(items=None):\n"
+        "    items = [] if items is None else items\n"
+        "    return items\n"
+    )
+    assert hits(src) == []
+
+
+def test_mutable_call_in_body_not_flagged():
+    src = "def f():\n    x = list()\n    return x\n"
+    assert hits(src) == []
+
+
+def test_inline_suppression():
+    src = (
+        "def f(a=[]):  # simlint: disable=mutable-default-arg\n"
+        "    pass\n"
+    )
+    assert hits(src) == []
+
+
+def test_file_level_suppression():
+    src = (
+        "# simlint: disable=mutable-default-arg\n"
+        "def f(a=[]):\n"
+        "    pass\n"
+        "def g(b={}):\n"
+        "    pass\n"
+    )
+    assert hits(src) == []
+
+
+def test_positional_alignment_with_leading_undefaulted_args():
+    # Only `c` has a default; the diagnostic must name it, not `a` or `b`.
+    src = "def f(a, b, c={}):\n    pass\n"
+    found = hits(src)
+    assert len(found) == 1
+    assert "argument `c`" in found[0].message

@@ -27,6 +27,7 @@ def test_registry_has_the_documented_rules():
         "error-hierarchy",
         "float-timestamp",
         "unordered-iter",
+        "mutable-default-arg",
     }
     assert all(r.description for r in all_rules())
 

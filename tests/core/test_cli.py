@@ -20,6 +20,7 @@ def test_parser_has_all_commands():
         "campaign",
         "lint",
         "check-determinism",
+        "faults",
     }
 
 

@@ -1,0 +1,137 @@
+"""Watchdog detection: abort fast path, heartbeat-deadline stall path."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import ms, seconds
+from repro.faults.campaign import VICTIM_VM, build_faults_node
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import Watchdog
+
+
+def _node_with_watchdog(seed=21, **wd_kwargs):
+    node = build_faults_node(scheduler="kitten", seed=seed)
+    wd = Watchdog(node.spm, **wd_kwargs)
+    wd.start()
+    return node, wd
+
+
+class TestAttach:
+    def test_double_attach_rejected(self):
+        node, wd = _node_with_watchdog()
+        with pytest.raises(ConfigurationError):
+            Watchdog(node.spm)
+
+    def test_monitors_only_non_primary(self):
+        node, wd = _node_with_watchdog()
+        primary_id = node.spm.vm_by_name("primary").vm_id
+        assert primary_id not in wd._monitored
+        assert node.spm.vm_by_name(VICTIM_VM).vm_id in wd._monitored
+
+    def test_bad_periods_rejected(self):
+        node = build_faults_node(scheduler="kitten", seed=21)
+        with pytest.raises(ConfigurationError):
+            Watchdog(node.spm, check_period_ps=0)
+
+
+class TestAbortPath:
+    def test_force_abort_detected_synchronously(self):
+        node, wd = _node_with_watchdog()
+        node.spm.force_abort(VICTIM_VM, "test")
+        assert len(wd.failures) == 1
+        rec = wd.failures[0]
+        assert rec.kind == "abort"
+        assert rec.vm_name == VICTIM_VM
+        assert rec.detected_at_ps == node.engine.now
+
+    def test_no_duplicate_declaration(self):
+        node, wd = _node_with_watchdog()
+        node.spm.force_abort(VICTIM_VM, "test")
+        # Further checks and an idempotent re-abort must not re-declare.
+        node.spm.force_abort(VICTIM_VM, "again")
+        node.engine.run_until(node.engine.now + ms(500))
+        assert len(wd.failures) == 1
+
+
+class TestStallPath:
+    def test_stalled_vcpu_detected_within_deadline_plus_period(self):
+        node, wd = _node_with_watchdog(
+            check_period_ps=ms(50), deadline_ps=ms(200)
+        )
+        victim = node.kernels[VICTIM_VM]
+        # Keep the guest busy so the stalled VCPU is RUNNING, not parked.
+        from repro.kernels.phases import ComputePhase
+        from repro.kernels.thread import Thread
+
+        def spin():
+            yield ComputePhase(2e9)
+
+        victim.spawn(Thread("spin", spin(), cpu=0, aspace="wd"))
+        node.engine.run_until(node.engine.now + ms(20))
+        t_stall = node.engine.now
+        victim.stall_cpu(0, seconds(2))
+        node.engine.run_until(t_stall + ms(600))
+        stalls = [f for f in wd.failures if f.kind == "stall"]
+        assert len(stalls) == 1
+        latency = stalls[0].detected_at_ps - t_stall
+        assert ms(200) <= latency <= ms(200) + 2 * ms(50)
+
+    def test_idle_vm_never_declared(self):
+        node, wd = _node_with_watchdog(
+            check_period_ps=ms(50), deadline_ps=ms(100)
+        )
+        # No workload: every guest VCPU parks in WFI. Parked VCPUs
+        # auto-beat, so a long quiet period declares nothing.
+        node.engine.run_until(node.engine.now + seconds(1))
+        assert wd.failures == []
+        assert wd.checks > 10
+
+
+class TestLifecycle:
+    def test_retire_suppresses_future_declarations(self):
+        node, wd = _node_with_watchdog()
+        vm_id = node.spm.vm_by_name(VICTIM_VM).vm_id
+        wd.retire(vm_id)
+        node.spm.force_abort(VICTIM_VM, "post-retire")
+        assert wd.failures == []
+
+    def test_resume_rearms_monitoring(self):
+        node, wd = _node_with_watchdog()
+        vm_id = node.spm.vm_by_name(VICTIM_VM).vm_id
+        node.spm.force_abort(VICTIM_VM, "first")
+        assert len(wd.failures) == 1
+        wd.resume(vm_id)
+        node.spm.vms[vm_id].aborted = False  # as reset_vm would
+        node.spm.force_abort(VICTIM_VM, "second")
+        assert len(wd.failures) == 2
+
+    def test_failure_fans_out_via_engine(self):
+        node, wd = _node_with_watchdog()
+        seen = []
+        wd.on_failure(seen.append)
+        node.spm.force_abort(VICTIM_VM, "cb")
+        assert seen == []  # not synchronous: runs as a zero-delay event
+        node.engine.run_until(node.engine.now + 1)
+        assert len(seen) == 1 and seen[0].vm_name == VICTIM_VM
+
+
+class TestInjectorDetectionChain:
+    def test_vcpu_stall_scenario_detected(self):
+        node, wd = _node_with_watchdog(
+            check_period_ps=ms(50), deadline_ps=ms(200)
+        )
+        from repro.kernels.phases import ComputePhase
+        from repro.kernels.thread import Thread
+
+        def spin():
+            yield ComputePhase(3e9)
+
+        node.kernels[VICTIM_VM].spawn(Thread("spin", spin(), cpu=0, aspace="wd"))
+        plan = FaultPlan.scenario(
+            "vcpu-stall", VICTIM_VM, node.engine.now + ms(30),
+            duration_ps=seconds(2),
+        )
+        FaultInjector(node, plan).arm()
+        node.engine.run_until(node.engine.now + ms(800))
+        assert any(f.kind == "stall" for f in wd.failures)

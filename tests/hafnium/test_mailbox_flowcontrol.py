@@ -1,0 +1,160 @@
+"""Mailbox BUSY flow control under contention + the retry/backoff helper."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import ms, seconds
+from repro.core.configs import CONFIG_HAFNIUM_KITTEN, build_node
+from repro.core.node import run_until_done
+from repro.hafnium.mailbox import (
+    RETRY_BASE_BACKOFF_PS,
+    RETRY_MAX_ATTEMPTS,
+    Mailbox,
+    send_with_retry,
+)
+from repro.kernels.thread import Hypercall, Sleep, Thread, WaitEvent
+from repro.sim.engine import Engine
+
+
+class TestBusyAccounting:
+    def test_each_rejected_sender_counted(self):
+        box = Mailbox(Engine(), "vm")
+        assert box.deliver(2, "first", 8)
+        for sender in (3, 4, 5):
+            assert not box.deliver(sender, "late", 8)
+        assert box.busy_rejections == 3
+        box.retrieve()
+        assert box.deliver(3, "after", 8)
+        assert box.busy_rejections == 3  # success doesn't count
+
+    def test_space_signal_fires_only_when_slot_frees(self):
+        eng = Engine()
+        box = Mailbox(eng, "vm")
+        freed = []
+        box.space_signal.subscribe(lambda *_: freed.append(eng.now))
+        assert box.retrieve() is None
+        assert freed == []  # empty retrieve frees nothing
+        box.deliver(2, "m", 8)
+        box.retrieve()
+        assert len(freed) == 1
+
+    def test_fifo_fairness_of_space_notification(self):
+        """Waiters subscribed in arrival order are notified in that order
+        when the slot frees — the release path cannot reorder them."""
+        eng = Engine()
+        box = Mailbox(eng, "vm")
+        box.deliver(2, "hog", 8)
+        order = []
+        for name in ("first-waiter", "second-waiter", "third-waiter"):
+            box.space_signal.subscribe(lambda *_, n=name: order.append(n))
+        box.retrieve()
+        assert order == ["first-waiter", "second-waiter", "third-waiter"]
+
+
+class TestRetryHelper:
+    def _drive(self, gen, responses):
+        """Run the send_with_retry generator against scripted hypercall
+        results; returns (yielded items, return value)."""
+        items = []
+        result = None
+        try:
+            item = next(gen)
+            while True:
+                items.append(item)
+                if isinstance(item, Hypercall):
+                    item = gen.send(responses.pop(0))
+                else:
+                    item = gen.send(None)
+        except StopIteration as stop:
+            result = stop.value
+        return items, result
+
+    def test_first_try_success(self):
+        items, result = self._drive(
+            send_with_retry(1, "m"), [{"ok": True, "busy": False}]
+        )
+        assert result == {"ok": True, "attempts": 1}
+        assert len(items) == 1
+
+    def test_exponential_backoff_doubles(self):
+        responses = [{"ok": False, "busy": True}] * 3 + [{"ok": True, "busy": False}]
+        items, result = self._drive(send_with_retry(1, "m"), responses)
+        sleeps = [i.duration_ps for i in items if isinstance(i, Sleep)]
+        assert sleeps == [
+            RETRY_BASE_BACKOFF_PS,
+            RETRY_BASE_BACKOFF_PS * 2,
+            RETRY_BASE_BACKOFF_PS * 4,
+        ]
+        assert result == {"ok": True, "attempts": 4}
+
+    def test_exhaustion_reports_busy(self):
+        responses = [{"ok": False, "busy": True}] * RETRY_MAX_ATTEMPTS
+        items, result = self._drive(send_with_retry(1, "m"), responses)
+        assert result["ok"] is False
+        assert result["attempts"] == RETRY_MAX_ATTEMPTS
+        assert result["error"] == "busy"
+        # No sleep after the final attempt.
+        assert sum(isinstance(i, Sleep) for i in items) == RETRY_MAX_ATTEMPTS - 1
+
+    def test_non_busy_failure_stops_immediately(self):
+        responses = [{"ok": False, "busy": False, "error": "no such VM"}]
+        items, result = self._drive(send_with_retry(1, "m"), responses)
+        assert result["ok"] is False
+        assert result["attempts"] == 1
+        assert result["error"] == "no such VM"
+
+    def test_hypercall_carries_exact_kwargs(self):
+        gen = send_with_retry(7, {"x": 1}, size_bytes=128)
+        call = next(gen)
+        assert call.name == "mailbox_send"
+        assert call.args == {
+            "dest_vm_id": 7, "payload": {"x": 1}, "size_bytes": 128,
+        }
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            next(send_with_retry(1, "m", max_attempts=0))
+
+
+class TestConcurrentSendersEndToEnd:
+    def test_contending_guests_all_succeed_with_retry(self):
+        """Two guest threads race for the primary's single mailbox slot
+        while the primary drains slowly: the loser sees BUSY, backs off,
+        and eventually lands its message. Nothing is lost or duplicated."""
+        node = build_node(CONFIG_HAFNIUM_KITTEN, seed=23)
+        spm = node.spm
+        results = {}
+
+        def sender(tag):
+            res = yield from send_with_retry(1, ("msg", tag))
+            results[tag] = res
+
+        threads = [
+            Thread("send-a", sender("a"), cpu=0, aspace="fc"),
+            Thread("send-b", sender("b"), cpu=1, aspace="fc"),
+        ]
+        node.spawn_workload_threads(threads)
+
+        got = []
+
+        def slow_server():
+            # Let both senders race for the single slot first: the winner
+            # fills it, the loser must see BUSY and back off.
+            yield Sleep(ms(3))
+            while len(got) < 2:
+                res = yield Hypercall("mailbox_recv")
+                if res["ok"]:
+                    got.append(res["message"].payload)
+                    yield Sleep(ms(1))
+                else:
+                    yield WaitEvent(res["signal"])
+
+        server = Thread("server", slow_server(), cpu=0, aspace="srv", priority=5)
+        spm.vm_by_name("primary").kernel.spawn(server)
+        run_until_done(node, threads + [server], max_seconds=10)
+
+        assert sorted(p[1] for p in got) == ["a", "b"]
+        assert results["a"]["ok"] and results["b"]["ok"]
+        total_attempts = results["a"]["attempts"] + results["b"]["attempts"]
+        assert total_attempts >= 3  # someone actually hit BUSY and retried
+        assert spm.mailboxes[1].busy_rejections >= 1
