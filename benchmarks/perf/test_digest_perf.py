@@ -1,0 +1,43 @@
+"""Trace-digest benchmarks: incremental batched hashing vs full re-hash."""
+
+import hashlib
+
+from repro.sim.trace import Tracer, record_bytes
+
+N_RECORDS = 20_000
+REPEATS = 5
+
+
+def _grown_tracer() -> Tracer:
+    tracer = Tracer()
+    for i in range(N_RECORDS):
+        tracer.emit(i * 1_000, "perf", "digest", seq=i, flag=bool(i & 1))
+    return tracer
+
+
+def test_incremental_digest(benchmark):
+    tracer = _grown_tracer()
+
+    def run():
+        out = ""
+        for _ in range(REPEATS):
+            out = tracer.digest_records()
+        return out
+
+    digest = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(digest) == 64
+
+
+def test_legacy_full_rehash(benchmark):
+    tracer = _grown_tracer()
+
+    def run():
+        out = ""
+        for _ in range(REPEATS):
+            h = hashlib.sha256()
+            h.update(b"".join(record_bytes(r) + b"\x1e" for r in tracer.records))
+            out = h.hexdigest()
+        return out
+
+    digest = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert digest == _grown_tracer().digest_records()

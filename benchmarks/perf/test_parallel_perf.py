@@ -1,0 +1,39 @@
+"""Wall-clock per figure and the --jobs speedup, as a benchmark suite.
+
+The serial and parallel runs produce bit-identical tables (asserted in
+``tests/exec/test_parallel_identity.py``); here we only time them.
+"""
+
+import os
+
+import pytest
+
+from repro.core.experiments import run_fig7_fig8
+from repro.faults.campaign import run_smoke
+
+SEED = 5
+
+
+def test_fig7_8_serial(benchmark):
+    tables = benchmark.pedantic(
+        lambda: run_fig7_fig8(trials=1, seed=SEED, jobs=1),
+        rounds=1, iterations=1,
+    )
+    assert set(tables) == {"hpcg", "stream", "randomaccess"}
+
+
+def test_fig7_8_parallel_all_cores(benchmark):
+    jobs = os.cpu_count() or 1
+    if jobs == 1:
+        pytest.skip("single-core host: parallel run would duplicate serial")
+    tables = benchmark.pedantic(
+        lambda: run_fig7_fig8(trials=1, seed=SEED, jobs=jobs),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["jobs"] = jobs
+    assert set(tables) == {"hpcg", "stream", "randomaccess"}
+
+
+def test_faults_smoke_wall_clock(benchmark):
+    result = benchmark.pedantic(lambda: run_smoke(SEED), rounds=1, iterations=1)
+    assert result["detected"]

@@ -26,15 +26,22 @@ def trace_digest(node) -> str:
     """SHA-256 over the node's entire trace + terminal engine state.
 
     Every record contributes (time, category, subject, sorted payload), so
-    any reordering, retiming, or payload drift changes the digest.
+    any reordering, retiming, or payload drift changes the digest. Real
+    tracers are digested through :meth:`Tracer.digest_records`, which
+    hashes incrementally in batches — repeated digests of a growing trace
+    (per scenario, per sweep entry) never re-hash the prefix.
     """
     h = hashlib.sha256()
     engine = node.machine.engine
+    tracer = node.machine.tracer
     h.update(f"now={engine.now};fired={engine.events_fired}".encode())
-    for r in node.machine.tracer.records:
-        h.update(
-            repr((r.time, r.category, r.subject, sorted(r.data.items()))).encode()
-        )
+    digest_records = getattr(tracer, "digest_records", None)
+    if digest_records is not None:
+        h.update(digest_records().encode())
+    else:  # duck-typed tracer (tests): one-shot batched fallback
+        from repro.sim.trace import record_bytes
+
+        h.update(b"".join(record_bytes(r) + b"\x1e" for r in tracer.records))
     return h.hexdigest()
 
 
@@ -75,7 +82,12 @@ def run_quickstart(config: str, seed: int) -> Dict[str, Any]:
 
 
 def check_determinism(
-    config: str = "hafnium-kitten", seed: int = 0xC0FFEE, runs: int = 2
+    config: str = "hafnium-kitten",
+    seed: int = 0xC0FFEE,
+    runs: int = 2,
+    *,
+    jobs: int = 1,
+    seeds: int = 1,
 ) -> Dict[str, Any]:
     """Run ``config`` ``runs`` times with the same seed and diff digests.
 
@@ -84,12 +96,31 @@ def check_determinism(
     fault-injection scenario (the campaign smoke run), so the replay
     guarantee is checked on the failure paths too; the result then has a
     per-config ``"sweep"`` mapping and top-level ``identical`` is the AND.
+    With ``seeds > 1`` the ``"all"`` sweep repeats for root seeds
+    ``seed, seed+1, ...`` and keys entries ``"{config}@seed={s}"``.
+
+    ``jobs`` fans the independent replay runs over a worker pool (see
+    :mod:`repro.exec`); digests are merged by job id, so the verdict is
+    identical at any ``jobs`` level — which is itself the point.
     """
     if runs < 2:
         raise ConfigurationError("determinism check needs at least 2 runs")
+    if seeds < 1:
+        raise ConfigurationError("determinism check needs at least 1 seed")
     if config == "all":
-        return _check_all(seed, runs)
-    results: List[Dict[str, Any]] = [run_quickstart(config, seed) for _ in range(runs)]
+        return _check_all(seed, runs, jobs=jobs, seeds=seeds)
+    if jobs != 1:
+        from repro.exec import ParallelRunner, SimJob
+
+        sim_jobs = [
+            SimJob.make("determinism-run", config=config, seed=seed, run=i)
+            for i in range(runs)
+        ]
+        results = ParallelRunner(jobs).run_values(sim_jobs)
+    else:
+        results: List[Dict[str, Any]] = [
+            run_quickstart(config, seed) for _ in range(runs)
+        ]
     digests = [r["digest"] for r in results]
     return {
         "config": config,
@@ -100,23 +131,45 @@ def check_determinism(
     }
 
 
-def _check_all(seed: int, runs: int) -> Dict[str, Any]:
+def _sweep_entry(config: str, seed: int, digests: List[str]) -> Dict[str, Any]:
+    return {
+        "config": config,
+        "seed": seed,
+        "identical": len(set(digests)) == 1,
+        "digests": digests,
+    }
+
+
+def _check_all(
+    seed: int, runs: int, *, jobs: int = 1, seeds: int = 1
+) -> Dict[str, Any]:
     from repro.core.configs import ALL_CONFIGS
-    from repro.faults.campaign import run_smoke
+    from repro.exec import ParallelRunner, SimJob
+
+    names = list(ALL_CONFIGS) + ["faults-smoke"]
+    seed_list = [seed + i for i in range(seeds)]
+    # One flat fan-out: (config x seed x run). The merge walks the same
+    # nesting serially, so sweep keys/order never depend on completion.
+    sim_jobs = [
+        SimJob.make("determinism-run", config=cfg, seed=s, run=i)
+        for cfg in names
+        for s in seed_list
+        for i in range(runs)
+    ]
+    merged = ParallelRunner(jobs).run(sim_jobs)
+    results = iter(merged.values())
 
     sweep: Dict[str, Any] = {}
-    for cfg in ALL_CONFIGS:
-        sweep[cfg] = check_determinism(cfg, seed, runs)
-    fault_digests = [run_smoke(seed)["digest"] for _ in range(runs)]
-    sweep["faults-smoke"] = {
-        "config": "faults-smoke",
-        "seed": seed,
-        "identical": len(set(fault_digests)) == 1,
-        "digests": fault_digests,
-    }
+    for cfg in names:
+        for s in seed_list:
+            run_results = [next(results) for _ in range(runs)]
+            digests = [r["digest"] for r in run_results]
+            key = cfg if seeds == 1 else f"{cfg}@seed={s}"
+            sweep[key] = _sweep_entry(cfg, s, digests)
     return {
         "config": "all",
         "seed": seed,
+        "seeds": seeds,
         "identical": all(entry["identical"] for entry in sweep.values()),
         "sweep": sweep,
     }

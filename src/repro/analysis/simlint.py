@@ -27,6 +27,10 @@ rule                      severity  flags
 ``mutable-default-arg``   error     list/dict/set (literal, comprehension, or
                                     constructor) default argument values — shared
                                     across calls, so state leaks between runs
+``engine-now-write``      error     assignments to ``<obj>.now`` outside
+                                    ``sim/engine.py`` — the simulated clock only
+                                    advances by firing events; writing it from model
+                                    code desynchronizes the queue and the trace
 ========================  ========  ===================================================
 
 Every rule honours ``# simlint: disable=<rule>`` suppressions (line-level
@@ -465,6 +469,51 @@ class MutableDefaultArgRule(Rule):
                         f"mutable default for argument `{arg.arg}`; use None "
                         "and construct the container inside the function",
                     )
+
+
+@register
+class EngineNowWriteRule(Rule):
+    name = "engine-now-write"
+    severity = Severity.ERROR
+    description = (
+        "the simulated clock (Engine.now) only advances inside the engine's "
+        "event loop; model code writing it desynchronizes queue and trace"
+    )
+
+    _EXEMPT_SUFFIX = "sim/engine.py"
+
+    def _now_targets(self, node: ast.AST) -> Iterator[ast.Attribute]:
+        """Attribute targets named ``now`` in an assignment statement."""
+        if isinstance(node, ast.Assign):
+            targets: List[ast.AST] = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        else:
+            return
+        for target in targets:
+            # Unpack tuple/list targets: `a.now, b = ...` still writes the clock.
+            stack = [target]
+            while stack:
+                t = stack.pop()
+                if isinstance(t, (ast.Tuple, ast.List)):
+                    stack.extend(t.elts)
+                elif isinstance(t, ast.Attribute) and t.attr == "now":
+                    yield t
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.norm_path.endswith(self._EXEMPT_SUFFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            for target in self._now_targets(node):
+                owner = _dotted_name(target.value)
+                owner_desc = f"`{owner}.now`" if owner else "`.now`"
+                yield ctx.diag(
+                    self,
+                    target,
+                    f"assignment to {owner_desc} outside sim/engine.py; the "
+                    "simulated clock advances only by firing events — "
+                    "schedule work instead of warping time",
+                )
 
 
 # ---------------------------------------------------------------------------

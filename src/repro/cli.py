@@ -26,12 +26,20 @@ import sys
 from typing import List, Optional
 
 
+def _jobs(args) -> int:
+    """Resolve the --jobs flag (absent/None = one worker per core)."""
+    from repro.exec import resolve_jobs
+
+    return resolve_jobs(getattr(args, "jobs", 1))
+
+
 def _cmd_selfish(args) -> int:
     from repro.core.experiments import run_selfish_profiles
     from repro.core.report import render_selfish
 
     profiles = run_selfish_profiles(
-        duration_s=args.duration, threshold_us=args.threshold_us, seed=args.seed
+        duration_s=args.duration, threshold_us=args.threshold_us, seed=args.seed,
+        jobs=_jobs(args),
     )
     for profile in profiles.values():
         print(render_selfish(profile))
@@ -43,7 +51,7 @@ def _cmd_memory(args) -> int:
     from repro.core.experiments import PAPER_FIG8, run_fig7_fig8
     from repro.core.report import render_normalized_table, render_raw_table
 
-    tables = run_fig7_fig8(trials=args.trials, seed=args.seed)
+    tables = run_fig7_fig8(trials=args.trials, seed=args.seed, jobs=_jobs(args))
     print(render_raw_table(tables, "Figure 8 (reproduced)", paper=PAPER_FIG8))
     print()
     print(render_normalized_table(tables, "Figure 7 (reproduced)", paper=PAPER_FIG8))
@@ -54,7 +62,7 @@ def _cmd_npb(args) -> int:
     from repro.core.experiments import PAPER_FIG10, run_fig9_fig10
     from repro.core.report import render_normalized_table, render_raw_table
 
-    tables = run_fig9_fig10(trials=args.trials, seed=args.seed)
+    tables = run_fig9_fig10(trials=args.trials, seed=args.seed, jobs=_jobs(args))
     print(render_raw_table(tables, "Figure 10 (reproduced)", paper=PAPER_FIG10))
     print()
     print(render_normalized_table(tables, "Figure 9 (reproduced)", paper=PAPER_FIG10))
@@ -99,6 +107,7 @@ def _cmd_campaign(args) -> int:
         seed=args.seed,
         trials=args.trials,
         include_extensions=not args.no_extensions,
+        jobs=_jobs(args),
     )
     if args.output:
         save_campaign(results, args.output)
@@ -157,11 +166,14 @@ def _cmd_check_determinism(args) -> int:
     from repro.common.errors import ConfigurationError
 
     try:
-        result = check_determinism(config=args.config, seed=args.seed, runs=args.runs)
+        result = check_determinism(
+            config=args.config, seed=args.seed, runs=args.runs,
+            jobs=_jobs(args), seeds=args.seeds,
+        )
     except ConfigurationError as exc:
         print(f"repro check-determinism: {exc}", file=sys.stderr)
         return 2
-    if args.config == "all":
+    if "sweep" in result:
         for name, entry in result["sweep"].items():
             status = "ok" if entry["identical"] else "DIVERGED"
             print(f"  {name:16s} {entry['digests'][0][:16]}... {status}")
@@ -197,7 +209,47 @@ def _cmd_faults(args) -> int:
     import json
 
     from repro.common.errors import ConfigurationError
-    from repro.faults.campaign import run_resilience, run_smoke, scenarios_for
+    from repro.faults.campaign import (
+        run_randomized_campaign,
+        run_resilience,
+        run_smoke,
+        scenarios_for,
+    )
+
+    if args.randomized:
+        try:
+            report = run_randomized_campaign(
+                config=args.configs or "hafnium-kitten",
+                seed=args.seed,
+                campaigns=args.randomized,
+                count=args.faults_per_run,
+                jobs=_jobs(args),
+            )
+        except ConfigurationError as exc:
+            print(f"repro faults: {exc}", file=sys.stderr)
+            return 2
+        if args.output:
+            with open(args.output, "w") as fh:
+                json.dump(report, fh, indent=2, default=str)
+            print(f"wrote {args.output}")
+        print(
+            f"randomized campaign [{report['config']}]: "
+            f"{report['campaigns']} seeds x {report['faults_per_run']} faults"
+        )
+        for s, r in report["runs"].items():
+            print(
+                f"  seed {s}: survival={r['job_survival_rate']:.2f} "
+                f"detections={r['detections']}/{r['faults_injected']} "
+                f"restarts={r['restarts']} degraded={r['degraded']}"
+            )
+        agg = report["aggregate"]
+        print(
+            f"aggregate: survival mean={agg['survival_mean']:.3f} "
+            f"[{agg['survival_min']:.2f}, {agg['survival_max']:.2f}] "
+            f"detection rate={agg['detection_rate']:.2f} "
+            f"restarts={agg['restarts']}"
+        )
+        return 0
 
     if args.smoke:
         first = run_smoke(seed=args.seed)
@@ -220,6 +272,7 @@ def _cmd_faults(args) -> int:
             configs=configs,
             scenarios=scenarios,
             with_containment=not args.no_containment,
+            jobs=_jobs(args),
         )
     except ConfigurationError as exc:
         print(f"repro faults: {exc}", file=sys.stderr)
@@ -257,6 +310,25 @@ def _cmd_faults(args) -> int:
     return 1 if leaked else 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.exec.bench import run_bench, summarize_bench, write_bench
+
+    results = run_bench(quick=args.quick, jobs=_jobs(args))
+    path = write_bench(results, args.output or None)
+    print(f"wrote {path}")
+    print(summarize_bench(results))
+    return 0
+
+
+def _add_jobs_flag(p) -> None:
+    p.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="worker processes for independent simulation cells "
+        "(default: all cores; 1 = fully in-process). Results are "
+        "bit-identical at any level — only wall-clock changes.",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -273,14 +345,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("selfish", help="Figures 4/5/6 (selfish-detour)")
     p.add_argument("--duration", type=float, default=1.0)
     p.add_argument("--threshold-us", type=float, default=1.0)
+    _add_jobs_flag(p)
     p.set_defaults(fn=_cmd_selfish)
 
     p = sub.add_parser("memory", help="Figures 7/8 (HPCG/STREAM/RandomAccess)")
     p.add_argument("--trials", type=int, default=3)
+    _add_jobs_flag(p)
     p.set_defaults(fn=_cmd_memory)
 
     p = sub.add_parser("npb", help="Figures 9/10 (NAS parallel benchmarks)")
     p.add_argument("--trials", type=int, default=2)
+    _add_jobs_flag(p)
     p.set_defaults(fn=_cmd_npb)
 
     p = sub.add_parser("irq-routing", help="selective-routing extension")
@@ -299,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=3)
     p.add_argument("--output", "-o", type=str, default="")
     p.add_argument("--no-extensions", action="store_true")
+    _add_jobs_flag(p)
     p.set_defaults(fn=_cmd_campaign)
 
     p = sub.add_parser(
@@ -321,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--config", type=str, default="hafnium-kitten")
     p.add_argument("--runs", type=int, default=2)
+    p.add_argument(
+        "--seeds", type=int, default=1,
+        help="with --config all: sweep this many root seeds (seed, seed+1, ...)",
+    )
+    _add_jobs_flag(p)
     p.set_defaults(fn=_cmd_check_determinism)
 
     p = sub.add_parser(
@@ -345,7 +426,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="CI mode: one small scenario run twice; exit 1 on digest drift",
     )
+    p.add_argument(
+        "--randomized", type=int, default=0, metavar="N",
+        help="run N randomized multi-fault campaigns (root seeds seed..seed+N-1) "
+        "and aggregate per-seed survival rates",
+    )
+    p.add_argument(
+        "--faults-per-run", type=int, default=3,
+        help="faults drawn per randomized campaign (with --randomized)",
+    )
+    _add_jobs_flag(p)
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser(
+        "bench",
+        help="performance benchmarks: engine events/sec, per-figure "
+        "wall-clock, and --jobs speedup; writes BENCH_<date>.json",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="CI mode: smaller event counts, fig7/8 instead of the campaign",
+    )
+    p.add_argument("--output", "-o", type=str, default="")
+    _add_jobs_flag(p)
+    p.set_defaults(fn=_cmd_bench)
 
     return parser
 

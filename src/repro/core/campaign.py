@@ -47,14 +47,76 @@ def _tables_to_dict(tables) -> Dict[str, Any]:
     return out
 
 
+def _extensions_serial(seed: int) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    out["ext_irq_routing"] = {
+        mode: run_irq_latency(routing=mode, seed=seed)
+        for mode in ("forwarded", "direct")
+    }
+    interference: Dict[str, Any] = {}
+    for sched in ("kitten", "linux"):
+        alone = run_interference(
+            scheduler=sched, benchmark="lu", with_neighbor=False, seed=seed
+        )
+        shared = run_interference(
+            scheduler=sched, benchmark="lu", with_neighbor=True, seed=seed
+        )
+        interference[sched] = {
+            "lu_alone": alone["metric"],
+            "lu_shared": shared["metric"],
+            "retention": shared["metric"] / alone["metric"],
+        }
+    out["ext_interference"] = interference
+    return out
+
+
+def _extensions_parallel(seed: int, jobs: int) -> Dict[str, Any]:
+    """The extension cells as one fan-out batch, merged in serial order."""
+    from repro.exec import ParallelRunner, SimJob
+
+    sim_jobs = [
+        SimJob.make("irq-latency", routing=mode, seed=seed)
+        for mode in ("forwarded", "direct")
+    ] + [
+        SimJob.make(
+            "interference", scheduler=sched, benchmark="lu",
+            with_neighbor=with_neighbor, seed=seed,
+        )
+        for sched in ("kitten", "linux")
+        for with_neighbor in (False, True)
+    ]
+    merged = ParallelRunner(jobs).run_values(sim_jobs)
+    irq_forwarded, irq_direct = merged[0], merged[1]
+    out: Dict[str, Any] = {
+        "ext_irq_routing": {"forwarded": irq_forwarded, "direct": irq_direct}
+    }
+    interference: Dict[str, Any] = {}
+    for i, sched in enumerate(("kitten", "linux")):
+        alone, shared = merged[2 + 2 * i], merged[3 + 2 * i]
+        interference[sched] = {
+            "lu_alone": alone["metric"],
+            "lu_shared": shared["metric"],
+            "retention": shared["metric"] / alone["metric"],
+        }
+    out["ext_interference"] = interference
+    return out
+
+
 def run_campaign(
     *,
     seed: int = 0xC0FFEE,
     trials: int = 3,
     selfish_duration_s: float = 1.0,
     include_extensions: bool = True,
+    jobs: int = 1,
 ) -> Dict[str, Any]:
-    """Run the complete reproduction campaign. Returns the results dict."""
+    """Run the complete reproduction campaign. Returns the results dict.
+
+    ``jobs`` fans the independent (config, trial, scenario) cells of each
+    section over a worker pool via :mod:`repro.exec`; every merge is keyed
+    by job id, so for a given seed the results dict is bit-identical at
+    any ``jobs`` level — only ``wall_seconds`` (host time) differs.
+    """
     t0 = time.time()
     results: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
@@ -62,7 +124,9 @@ def run_campaign(
         "trials": trials,
     }
 
-    profiles = run_selfish_profiles(duration_s=selfish_duration_s, seed=seed)
+    profiles = run_selfish_profiles(
+        duration_s=selfish_duration_s, seed=seed, jobs=jobs
+    )
     results["fig4_6_selfish"] = {
         cfg: {
             "summary": p.summary,
@@ -74,32 +138,18 @@ def run_campaign(
     }
 
     results["fig7_8_memory"] = _tables_to_dict(
-        run_fig7_fig8(trials=trials, seed=seed)
+        run_fig7_fig8(trials=trials, seed=seed, jobs=jobs)
     )
     results["fig9_10_npb"] = _tables_to_dict(
-        run_fig9_fig10(trials=trials, seed=seed)
+        run_fig9_fig10(trials=trials, seed=seed, jobs=jobs)
     )
     results["paper"] = {"fig8": PAPER_FIG8, "fig10": PAPER_FIG10}
 
     if include_extensions:
-        results["ext_irq_routing"] = {
-            mode: run_irq_latency(routing=mode, seed=seed)
-            for mode in ("forwarded", "direct")
-        }
-        interference: Dict[str, Any] = {}
-        for sched in ("kitten", "linux"):
-            alone = run_interference(
-                scheduler=sched, benchmark="lu", with_neighbor=False, seed=seed
-            )
-            shared = run_interference(
-                scheduler=sched, benchmark="lu", with_neighbor=True, seed=seed
-            )
-            interference[sched] = {
-                "lu_alone": alone["metric"],
-                "lu_shared": shared["metric"],
-                "retention": shared["metric"] / alone["metric"],
-            }
-        results["ext_interference"] = interference
+        if jobs != 1:
+            results.update(_extensions_parallel(seed, jobs))
+        else:
+            results.update(_extensions_serial(seed))
 
     results["wall_seconds"] = time.time() - t0
     return results

@@ -14,10 +14,11 @@ calls these and prints the reproduced rows next to the paper's.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.common.errors import ConfigurationError
 from repro.core.configs import ALL_CONFIGS, PAPER_LABELS, build_node
 from repro.core.metrics import Aggregate, TrialResult, aggregate, normalize_to
 from repro.core.node import Node
@@ -63,8 +64,30 @@ def run_selfish_profiles(
     seed: int = DEFAULT_SEED,
     configs: Sequence[str] = ALL_CONFIGS,
     node_kwargs: Optional[dict] = None,
+    jobs: int = 1,
 ) -> Dict[str, SelfishProfile]:
-    """Figures 4, 5, 6: the detour scatter of each configuration."""
+    """Figures 4, 5, 6: the detour scatter of each configuration.
+
+    ``jobs > 1`` fans one job per configuration over a worker pool; each
+    profile is a pure function of (config, seed), so the result is
+    bit-identical to the serial path.
+    """
+    if jobs != 1 and len(configs) > 1:
+        from repro.exec import ParallelRunner, SimJob
+
+        sim_jobs = [
+            SimJob.make(
+                "selfish-profile",
+                config=config,
+                duration_s=duration_s,
+                threshold_us=threshold_us,
+                seed=seed,
+                node_kwargs=node_kwargs,
+            )
+            for config in configs
+        ]
+        results = ParallelRunner(jobs).run_values(sim_jobs)
+        return {config: profile for config, profile in zip(configs, results)}
     profiles = {}
     for config in configs:
         node = build_node(config, seed=seed, **(node_kwargs or {}))
@@ -97,46 +120,61 @@ NPB_BENCHMARKS: Dict[str, WorkloadFactory] = {
     name: (lambda n=name: make_npb(n)) for name in ("lu", "bt", "cg", "ep", "sp")
 }
 
+#: Named registries so parallel workers can resolve factories by name —
+#: callables (the NPB closures above) never cross the process boundary.
+BENCHMARK_SETS: Dict[str, Dict[str, WorkloadFactory]] = {
+    "memory": MEMORY_BENCHMARKS,
+    "npb": NPB_BENCHMARKS,
+}
 
-def run_benchmark_table(
-    factories: Dict[str, WorkloadFactory],
+
+def run_single_trial(
+    factory: WorkloadFactory,
+    bench_name: str,
+    config: str,
     *,
-    trials: int = 5,
+    trial: int,
     seed: int = DEFAULT_SEED,
-    configs: Sequence[str] = ALL_CONFIGS,
-    baseline: str = "native",
     node_kwargs: Optional[dict] = None,
-) -> Dict[str, BenchmarkTable]:
-    """Run each benchmark on each configuration for `trials` trials.
+) -> TrialResult:
+    """One (benchmark, config, trial) cell — the unit of campaign fan-out.
 
-    Each trial uses a distinct deterministic RNG trial index (fresh noise
-    timeline and measurement jitter), which is where the reported standard
-    deviations come from — as on real hardware.
+    Both the serial table loop and the parallel ``bench-trial`` job handler
+    call exactly this function, which is what makes a parallel campaign
+    bit-identical to a serial one.
     """
+    node = build_node(config, seed=seed, trial=trial, **(node_kwargs or {}))
+    workload = factory()
+    WorkloadRun(node, workload)
+    return TrialResult(
+        config=config,
+        benchmark=bench_name,
+        trial=trial,
+        value=workload.metric(),
+        unit=workload.unit,
+        elapsed_s=workload.elapsed_s,
+        extra=workload.extra_metrics(),
+    )
+
+
+def _tables_from_trials(
+    factories: Dict[str, WorkloadFactory],
+    configs: Sequence[str],
+    trials: int,
+    baseline: str,
+    trial_results: Dict[Tuple[str, str, int], TrialResult],
+) -> Dict[str, BenchmarkTable]:
+    """Assemble BenchmarkTables from per-cell results in canonical order."""
     tables: Dict[str, BenchmarkTable] = {}
-    for bench_name, factory in factories.items():
+    for bench_name in factories:
         aggs: Dict[str, Aggregate] = {}
         unit = ""
         for config in configs:
-            results: List[TrialResult] = []
-            for trial in range(trials):
-                node = build_node(
-                    config, seed=seed, trial=trial, **(node_kwargs or {})
-                )
-                workload = factory()
-                WorkloadRun(node, workload)
-                unit = workload.unit
-                results.append(
-                    TrialResult(
-                        config=config,
-                        benchmark=bench_name,
-                        trial=trial,
-                        value=workload.metric(),
-                        unit=workload.unit,
-                        elapsed_s=workload.elapsed_s,
-                        extra=workload.extra_metrics(),
-                    )
-                )
+            results = [
+                trial_results[(bench_name, config, trial)]
+                for trial in range(trials)
+            ]
+            unit = results[-1].unit if results else unit
             aggs[config] = aggregate(results)
         tables[bench_name] = BenchmarkTable(
             benchmark=bench_name,
@@ -147,21 +185,94 @@ def run_benchmark_table(
     return tables
 
 
+def run_benchmark_table(
+    factories: Dict[str, WorkloadFactory],
+    *,
+    trials: int = 5,
+    seed: int = DEFAULT_SEED,
+    configs: Sequence[str] = ALL_CONFIGS,
+    baseline: str = "native",
+    node_kwargs: Optional[dict] = None,
+    jobs: int = 1,
+    benchmark_set: Optional[str] = None,
+) -> Dict[str, BenchmarkTable]:
+    """Run each benchmark on each configuration for `trials` trials.
+
+    Each trial uses a distinct deterministic RNG trial index (fresh noise
+    timeline and measurement jitter), which is where the reported standard
+    deviations come from — as on real hardware.
+
+    ``jobs > 1`` fans every (benchmark, config, trial) cell over a worker
+    pool; ``benchmark_set`` must then name a registry in
+    :data:`BENCHMARK_SETS` (arbitrary factory callables cannot cross the
+    process boundary). Results are merged in canonical (benchmark, config,
+    trial) order, so any ``jobs`` level produces bit-identical tables.
+    """
+    if jobs != 1 and benchmark_set is not None:
+        from repro.exec import ParallelRunner, SimJob
+
+        if BENCHMARK_SETS.get(benchmark_set) is not factories:
+            raise ConfigurationError(
+                f"benchmark_set {benchmark_set!r} does not match the "
+                "factories being run"
+            )
+        sim_jobs = [
+            SimJob.make(
+                "bench-trial",
+                benchmark_set=benchmark_set,
+                benchmark=bench_name,
+                config=config,
+                trial=trial,
+                seed=seed,
+                node_kwargs=node_kwargs,
+            )
+            for bench_name in factories
+            for config in configs
+            for trial in range(trials)
+        ]
+        cells = ParallelRunner(jobs).run_values(sim_jobs)
+        trial_results = {
+            (r.benchmark, r.config, r.trial): r for r in cells
+        }
+        return _tables_from_trials(
+            factories, configs, trials, baseline, trial_results
+        )
+    trial_results = {}
+    for bench_name, factory in factories.items():
+        for config in configs:
+            for trial in range(trials):
+                trial_results[(bench_name, config, trial)] = run_single_trial(
+                    factory, bench_name, config,
+                    trial=trial, seed=seed, node_kwargs=node_kwargs,
+                )
+    return _tables_from_trials(factories, configs, trials, baseline, trial_results)
+
+
 def run_fig7_fig8(
-    *, trials: int = 5, seed: int = DEFAULT_SEED, node_kwargs: Optional[dict] = None
+    *,
+    trials: int = 5,
+    seed: int = DEFAULT_SEED,
+    node_kwargs: Optional[dict] = None,
+    jobs: int = 1,
 ) -> Dict[str, BenchmarkTable]:
     """Figure 7 (normalized) and Figure 8 (raw) in one pass."""
     return run_benchmark_table(
-        MEMORY_BENCHMARKS, trials=trials, seed=seed, node_kwargs=node_kwargs
+        MEMORY_BENCHMARKS, trials=trials, seed=seed, node_kwargs=node_kwargs,
+        jobs=jobs, benchmark_set="memory",
     )
 
 
 def run_fig9_fig10(
-    *, trials: int = 3, seed: int = DEFAULT_SEED, node_kwargs: Optional[dict] = None
+    *,
+    trials: int = 3,
+    seed: int = DEFAULT_SEED,
+    node_kwargs: Optional[dict] = None,
+    jobs: int = 1,
 ) -> Dict[str, BenchmarkTable]:
     """Figure 9 (normalized) and Figure 10 (raw) in one pass."""
     return run_benchmark_table(
-        NPB_BENCHMARKS, trials=trials, seed=seed, node_kwargs=node_kwargs
+        NPB_BENCHMARKS, trials=trials, seed=seed, node_kwargs=node_kwargs,
+        jobs=jobs, benchmark_set="npb",
     )
 
 

@@ -1,0 +1,28 @@
+"""Parallel simulation executor.
+
+The paper's artifact is an evaluation *campaign*: many independent
+(config, seed, trial, scenario) simulation cells whose results are
+aggregated into figures. Every cell is a pure function of its
+parameters — the engine guarantees bit-identical traces per (config,
+seed) — so cells can fan out over a process pool with no effect on the
+science. This package provides:
+
+* :class:`~repro.exec.jobs.SimJob` — a picklable descriptor of one cell;
+* :func:`~repro.exec.jobs.execute_job` — the worker-side dispatcher;
+* :class:`~repro.exec.runner.ParallelRunner` — the pool, with results
+  merged in *job order* (never completion order), so a parallel campaign
+  is bit-identical to a serial one;
+* :mod:`~repro.exec.bench` — the ``repro bench`` harness that proves it.
+"""
+
+from repro.exec.jobs import SimJob, execute_job, job_kinds
+from repro.exec.runner import ParallelRunner, default_jobs, resolve_jobs
+
+__all__ = [
+    "SimJob",
+    "execute_job",
+    "job_kinds",
+    "ParallelRunner",
+    "default_jobs",
+    "resolve_jobs",
+]

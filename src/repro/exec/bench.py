@@ -1,0 +1,278 @@
+"""The ``repro bench`` harness: measured numbers for the perf work.
+
+Three layers of benchmark, mirroring where the optimisations live:
+
+* **engine microbenchmarks** — raw events/sec with the free-list pool on
+  vs off, the coalesced :class:`~repro.sim.engine.PeriodicTimer` vs the
+  naive reschedule-per-fire pattern, and the incremental batched trace
+  digest vs a legacy full re-hash;
+* **figure wall-clock** — how long each paper figure takes end to end;
+* **parallel speedup** — the same campaign at ``--jobs 1`` vs ``--jobs N``
+  (identical results by construction; only the wall-clock moves).
+
+Results are plain dicts; :func:`write_bench` archives them as
+``BENCH_<date>.json`` so perf regressions show up in review diffs.
+"""
+
+from __future__ import annotations
+
+# simlint: disable=wall-clock -- this module *is* the wall-clock: it
+# measures how long the host takes to run simulations. Nothing here runs
+# inside a simulation, so replay determinism is unaffected.
+
+import json
+import os
+import platform
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.exec.runner import default_jobs, resolve_jobs
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer, record_bytes
+
+#: ps between churn events in the microbenchmarks (value is irrelevant to
+#: the measurement; it just has to be a positive int).
+_TICK_PS = 1_000
+
+
+def _timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+# ---------------------------------------------------------------------------
+# Engine microbenchmarks
+# ---------------------------------------------------------------------------
+
+
+def bench_engine_events(n_events: int, *, event_pool: bool) -> Dict[str, Any]:
+    """Self-rescheduling churn: ``n_events`` schedule+fire round trips."""
+    eng = Engine(event_pool=event_pool)
+    remaining = [n_events]
+
+    def tick():
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            eng.schedule(_TICK_PS, tick)
+
+    for lane in range(8):
+        eng.schedule(_TICK_PS + lane, tick)
+
+    _, seconds = _timed(eng.run)
+    return {
+        "event_pool": event_pool,
+        "events_fired": eng.events_fired,
+        "seconds": seconds,
+        "events_per_sec": eng.events_fired / seconds if seconds else 0.0,
+        "pool_reuses": eng.pool_reuses,
+    }
+
+
+def bench_periodic(n_fires: int) -> Dict[str, Any]:
+    """Coalesced PeriodicTimer vs naive schedule-per-fire, same fire count."""
+
+    def coalesced():
+        eng = Engine()
+        timer = eng.schedule_periodic(_TICK_PS, lambda: None)
+        eng.run_until(_TICK_PS * n_fires)
+        timer.stop()
+        return eng
+
+    def naive():
+        eng = Engine()
+        fired = [0]
+
+        def tick():
+            fired[0] += 1
+            if fired[0] < n_fires:
+                eng.schedule(_TICK_PS, tick)
+
+        eng.schedule(_TICK_PS, tick)
+        eng.run()
+        return eng
+
+    eng_c, sec_c = _timed(coalesced)
+    eng_n, sec_n = _timed(naive)
+    return {
+        "fires": n_fires,
+        "coalesced_seconds": sec_c,
+        "naive_seconds": sec_n,
+        "coalesced_fires_per_sec": eng_c.events_fired / sec_c if sec_c else 0.0,
+        "naive_fires_per_sec": eng_n.events_fired / sec_n if sec_n else 0.0,
+    }
+
+
+def bench_digest(n_records: int, repeats: int = 5) -> Dict[str, Any]:
+    """Incremental batched digest vs legacy full re-hash, ``repeats``
+    digests of the same grown trace (the sweep/campaign access pattern)."""
+    import hashlib
+
+    tracer = Tracer()
+    for i in range(n_records):
+        tracer.emit(i * _TICK_PS, "bench", "digest", seq=i, flag=bool(i & 1))
+
+    def incremental():
+        out = ""
+        for _ in range(repeats):
+            out = tracer.digest_records()
+        return out
+
+    def legacy():
+        out = ""
+        for _ in range(repeats):
+            h = hashlib.sha256()
+            h.update(
+                b"".join(record_bytes(r) + b"\x1e" for r in tracer.records)
+            )
+            out = h.hexdigest()
+        return out
+
+    digest_inc, sec_inc = _timed(incremental)
+    digest_leg, sec_leg = _timed(legacy)
+    return {
+        "records": n_records,
+        "repeats": repeats,
+        "incremental_seconds": sec_inc,
+        "legacy_seconds": sec_leg,
+        "speedup": (sec_leg / sec_inc) if sec_inc else 0.0,
+        "digests_agree": digest_inc == digest_leg,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure wall-clock + parallel speedup
+# ---------------------------------------------------------------------------
+
+
+def bench_figures(*, quick: bool) -> Dict[str, Any]:
+    """Wall-clock per paper figure (the numbers ``--jobs`` exists to cut)."""
+    from repro.core.experiments import (
+        run_fig7_fig8,
+        run_fig9_fig10,
+        run_selfish_profiles,
+    )
+    from repro.faults.campaign import run_smoke
+
+    duration = 0.05 if quick else 0.25
+    trials = 1 if quick else 2
+    out: Dict[str, Any] = {}
+    _, out["fig4_6_selfish_seconds"] = _timed(
+        lambda: run_selfish_profiles(duration_s=duration, seed=1)
+    )
+    _, out["fig7_8_memory_seconds"] = _timed(
+        lambda: run_fig7_fig8(trials=trials, seed=1)
+    )
+    if not quick:
+        _, out["fig9_10_npb_seconds"] = _timed(
+            lambda: run_fig9_fig10(trials=trials, seed=1)
+        )
+    _, out["faults_smoke_seconds"] = _timed(lambda: run_smoke(1))
+    out["selfish_duration_s"] = duration
+    out["trials"] = trials
+    return out
+
+
+def bench_parallel_speedup(*, quick: bool, jobs: int) -> Dict[str, Any]:
+    """The same workload serially and at ``jobs`` workers; results are
+    bit-identical by the executor's merge contract, so only wall-clock
+    (and the scheduling overhead it reveals) differs."""
+    from repro.core.campaign import run_campaign
+    from repro.core.experiments import run_fig7_fig8
+
+    if quick:
+        workload = "fig7_8(trials=1)"
+        serial = lambda: run_fig7_fig8(trials=1, seed=1, jobs=1)
+        parallel = lambda: run_fig7_fig8(trials=1, seed=1, jobs=jobs)
+    else:
+        workload = "campaign(trials=1, selfish=0.1s)"
+        serial = lambda: run_campaign(
+            trials=1, selfish_duration_s=0.1, include_extensions=True, jobs=1
+        )
+        parallel = lambda: run_campaign(
+            trials=1, selfish_duration_s=0.1, include_extensions=True, jobs=jobs
+        )
+
+    _, sec_serial = _timed(serial)
+    _, sec_parallel = _timed(parallel)
+    return {
+        "workload": workload,
+        "jobs": jobs,
+        "serial_seconds": sec_serial,
+        "parallel_seconds": sec_parallel,
+        "speedup": (sec_serial / sec_parallel) if sec_parallel else 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+def run_bench(*, quick: bool = False, jobs: Optional[int] = None) -> Dict[str, Any]:
+    """Run the full suite; returns the JSON-serializable results dict."""
+    jobs = resolve_jobs(jobs)
+    n_events = 100_000 if quick else 500_000
+    n_fires = 50_000 if quick else 200_000
+    n_records = 20_000 if quick else 100_000
+
+    results: Dict[str, Any] = {
+        "schema": 1,
+        "quick": quick,
+        "host": {
+            "cpu_count": default_jobs(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "engine": {
+            "pooled": bench_engine_events(n_events, event_pool=True),
+            "unpooled": bench_engine_events(n_events, event_pool=False),
+        },
+        "periodic": bench_periodic(n_fires),
+        "digest": bench_digest(n_records),
+        "figures": bench_figures(quick=quick),
+        "parallel": bench_parallel_speedup(quick=quick, jobs=jobs),
+    }
+    pooled = results["engine"]["pooled"]["events_per_sec"]
+    unpooled = results["engine"]["unpooled"]["events_per_sec"]
+    results["engine"]["pool_speedup"] = (pooled / unpooled) if unpooled else 0.0
+    return results
+
+
+def default_bench_path() -> str:
+    return f"BENCH_{time.strftime('%Y-%m-%d')}.json"
+
+
+def write_bench(results: Dict[str, Any], path: Optional[str] = None) -> str:
+    """Archive a bench results dict; returns the path written."""
+    path = path or default_bench_path()
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=1, sort_keys=True)
+        fh.write(os.linesep)
+    return path
+
+
+def summarize_bench(results: Dict[str, Any]) -> str:
+    """A terse human summary of a bench results dict."""
+    eng = results["engine"]
+    per = results["periodic"]
+    dig = results["digest"]
+    par = results["parallel"]
+    lines = [
+        f"host: {results['host']['cpu_count']} cores, "
+        f"python {results['host']['python']}",
+        f"engine: {eng['pooled']['events_per_sec']:,.0f} ev/s pooled, "
+        f"{eng['unpooled']['events_per_sec']:,.0f} ev/s unpooled "
+        f"(x{eng['pool_speedup']:.2f})",
+        f"periodic: {per['coalesced_fires_per_sec']:,.0f} fires/s coalesced, "
+        f"{per['naive_fires_per_sec']:,.0f} naive",
+        f"digest: x{dig['speedup']:.1f} incremental vs legacy "
+        f"({dig['records']} records x{dig['repeats']})",
+        f"parallel [{par['workload']}]: {par['serial_seconds']:.2f}s serial, "
+        f"{par['parallel_seconds']:.2f}s at jobs={par['jobs']} "
+        f"(x{par['speedup']:.2f})",
+    ]
+    for key, val in sorted(results["figures"].items()):
+        if key.endswith("_seconds"):
+            lines.append(f"figure {key[:-8]}: {val:.2f}s")
+    return "\n".join(lines)

@@ -179,13 +179,17 @@ def per_vm_digest(node, kernel_name: str) -> str:
     """SHA-256 over the trace records attributable to one VM's kernel
     (subjects ``<kernel_name>`` and ``<kernel_name>.*``) — the per-VM
     event trace the containment check compares."""
+    from repro.sim.trace import record_bytes
+
     h = hashlib.sha256()
     dot_prefix = kernel_name + "."
-    for r in node.machine.tracer.records:
-        if r.subject == kernel_name or r.subject.startswith(dot_prefix):
-            h.update(
-                repr((r.time, r.category, r.subject, sorted(r.data.items()))).encode()
-            )
+    h.update(
+        b"".join(
+            record_bytes(r) + b"\x1e"
+            for r in node.machine.tracer.records
+            if r.subject == kernel_name or r.subject.startswith(dot_prefix)
+        )
+    )
     return h.hexdigest()
 
 
@@ -409,8 +413,14 @@ def run_resilience(
     configs: Optional[List[str]] = None,
     scenarios: Optional[List[str]] = None,
     with_containment: bool = True,
+    jobs: int = 1,
 ) -> Dict[str, Any]:
-    """The full campaign: configs x applicable scenarios + containment."""
+    """The full campaign: configs x applicable scenarios + containment.
+
+    Every (config, scenario) cell builds its own node from (seed, trial),
+    so ``jobs > 1`` fans the cells over a worker pool (:mod:`repro.exec`)
+    and merges by job id — the report is bit-identical at any ``jobs``.
+    """
     from repro.core.configs import ALL_CONFIGS
 
     chosen_configs = list(configs) if configs else list(ALL_CONFIGS)
@@ -432,24 +442,172 @@ def run_resilience(
         "configs": {},
         "containment": {},
     }
-    for config in chosen_configs:
-        applicable = [
+    applicable_by_config = {
+        config: [
             s for s in (scenarios or scenarios_for(config))
             if s in scenarios_for(config)
         ]
+        for config in chosen_configs
+    }
+    containment_configs = (
+        [c for c in chosen_configs if c != "native"] if with_containment else []
+    )
+
+    if jobs != 1:
+        from repro.exec import ParallelRunner, SimJob
+
+        sim_jobs = [
+            SimJob.make(
+                "fault-scenario", config=config, scenario=scenario,
+                seed=seed, trial=trial,
+            )
+            for config in chosen_configs
+            for scenario in applicable_by_config[config]
+        ] + [
+            SimJob.make("containment", config=config, seed=seed, trial=trial)
+            for config in containment_configs
+        ]
+        merged = iter(ParallelRunner(jobs).run(sim_jobs).values())
+        for config in chosen_configs:
+            report["configs"][config] = {}
+            for scenario in applicable_by_config[config]:
+                report["configs"][config][scenario] = next(merged)
+        for config in containment_configs:
+            report["containment"][config] = next(merged)
+        return report
+
+    for config in chosen_configs:
         report["configs"][config] = {}
-        for scenario in applicable:
+        for scenario in applicable_by_config[config]:
             report["configs"][config][scenario] = run_scenario(
                 config, scenario, seed=seed, trial=trial
             )
-    if with_containment:
-        for config in chosen_configs:
-            if config == "native":
-                continue
-            report["containment"][config] = run_containment(
-                config, seed=seed, trial=trial
-            )
+    for config in containment_configs:
+        report["containment"][config] = run_containment(
+            config, seed=seed, trial=trial
+        )
     return report
+
+
+#: Fault kinds eligible for randomized campaigns: everything except
+#: attestation-tamper, whose effect (refusing a restart) only manifests
+#: through a *subsequent* fault and so reads as a no-op standalone draw.
+RANDOMIZED_KINDS = tuple(k for k in HAFNIUM_SCENARIOS if k != "attestation-tamper")
+
+
+def run_randomized(
+    config: str,
+    *,
+    seed: int = 0xC0FFEE,
+    trial: int = 0,
+    count: int = 3,
+    inject_delay_ps: int = INJECT_DELAY_PS,
+    window_ps: int = ms(400),
+    horizon_ps: int = HORIZON_PS,
+    kinds: Optional[List[str]] = None,
+    targets: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    """One randomized multi-fault run: ``count`` faults drawn from the
+    node's dedicated ``faults.plan`` RNG stream, uniform over the
+    injection window, with kinds and targets chosen per draw.
+
+    Same (config, seed, trial) → same plan → same trace; the randomness
+    is *inside* the deterministic replay boundary.
+    """
+    node = _build_for(config, seed, trial)
+    engine = node.machine.engine
+    t0 = engine.now
+    watchdog, recovery = _attach_resilience(node)
+    completed: Dict[str, int] = {}
+    submitted = _spawn_jobs(node, recovery, completed)
+    if node.spm is not None:
+        chosen_targets = list(targets or (VICTIM_VM, BYSTANDER_VM))
+        chosen_kinds = list(kinds or RANDOMIZED_KINDS)
+    else:
+        chosen_targets = list(targets or ("native",))
+        chosen_kinds = list(
+            kinds or (k for k in NATIVE_SCENARIOS if k != "attestation-tamper")
+        )
+    plan = FaultPlan.randomized(
+        node.machine.rng,
+        chosen_kinds,
+        chosen_targets,
+        start_ps=t0 + inject_delay_ps,
+        window_ps=window_ps,
+        count=count,
+    )
+    injector = FaultInjector(node, plan)
+    injector.arm()
+    engine.run_until(t0 + horizon_ps)
+    if watchdog is not None:
+        watchdog.stop()
+
+    detections = len(watchdog.failures) if watchdog is not None else 0
+    restart_events = (
+        [e for e in recovery.events if e["action"] == "restart"]
+        if recovery is not None
+        else []
+    )
+    jobs_done = sum(1 for name in submitted if completed.get(name))
+    return {
+        "config": config,
+        "seed": seed,
+        "trial": trial,
+        "plan": plan.describe(),
+        "faults_injected": len(injector.injections),
+        "detections": detections,
+        "restarts": len(restart_events),
+        "degraded": sorted(recovery.degraded) if recovery is not None else [],
+        "jobs_total": len(submitted),
+        "jobs_completed": jobs_done,
+        "job_survival_rate": (jobs_done / len(submitted)) if submitted else 1.0,
+        "end_ps": engine.now,
+        "digest": _full_digest(node),
+    }
+
+
+def run_randomized_campaign(
+    *,
+    config: str = "hafnium-kitten",
+    seed: int = 0xC0FFEE,
+    campaigns: int = 3,
+    count: int = 3,
+    jobs: int = 1,
+) -> Dict[str, Any]:
+    """``campaigns`` randomized runs at root seeds ``seed, seed+1, ...``
+    with per-seed results and aggregate survival statistics."""
+    if campaigns < 1:
+        raise ConfigurationError("randomized campaign needs campaigns >= 1")
+    seeds = [seed + i for i in range(campaigns)]
+    if jobs != 1:
+        from repro.exec import ParallelRunner, SimJob
+
+        sim_jobs = [
+            SimJob.make("randomized-faults", config=config, seed=s, count=count)
+            for s in seeds
+        ]
+        runs = ParallelRunner(jobs).run_values(sim_jobs)
+    else:
+        runs = [run_randomized(config, seed=s, count=count) for s in seeds]
+    survival = [r["job_survival_rate"] for r in runs]
+    detections = sum(r["detections"] for r in runs)
+    faults = sum(r["faults_injected"] for r in runs)
+    return {
+        "config": config,
+        "seed": seed,
+        "campaigns": campaigns,
+        "faults_per_run": count,
+        "runs": {str(s): r for s, r in zip(seeds, runs)},
+        "aggregate": {
+            "survival_mean": sum(survival) / len(survival),
+            "survival_min": min(survival),
+            "survival_max": max(survival),
+            "faults_injected": faults,
+            "detections": detections,
+            "detection_rate": (detections / faults) if faults else 0.0,
+            "restarts": sum(r["restarts"] for r in runs),
+        },
+    }
 
 
 def run_smoke(seed: int = 0xC0FFEE) -> Dict[str, Any]:

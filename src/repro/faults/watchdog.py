@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.units import ms
+from repro.sim.engine import PeriodicTimer
 from repro.hafnium.spm import PRIMARY_VM_ID, Spm
 from repro.hafnium.vm import VcpuState
 
@@ -84,6 +85,9 @@ class Watchdog:
         self.checks = 0
         self.beats = 0
         self._running = False
+        #: Coalesced periodic check: one event object re-armed in place
+        #: instead of a fresh allocation per check period.
+        self._timer: Optional[PeriodicTimer] = None
         now = self.machine.engine.now
         for vm_id in sorted(spm.vms):
             if vm_id == PRIMARY_VM_ID:
@@ -102,10 +106,15 @@ class Watchdog:
         if self._running:
             return
         self._running = True
-        self.machine.engine.schedule(self.check_period_ps, self._check)
+        self._timer = self.machine.engine.schedule_periodic(
+            self.check_period_ps, self._check
+        )
 
     def stop(self) -> None:
         self._running = False
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
 
     # -- notifications from the SPM / guest kernels ---------------------------
 
@@ -167,8 +176,6 @@ class Watchdog:
                     vm_id, "stall", f"vcpu{stalled_idx} missed heartbeat deadline",
                     last_beat=oldest,
                 )
-        if self._running:
-            self.machine.engine.schedule(self.check_period_ps, self._check)
 
     def _declare(
         self, vm_id: int, kind: str, detail: str, last_beat: Optional[int] = None

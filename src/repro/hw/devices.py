@@ -12,7 +12,7 @@ from typing import Callable, List, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.hw.gic import Gic
-from repro.sim.engine import Engine, Event, PRIO_HW
+from repro.sim.engine import Engine, PeriodicTimer, PRIO_HW
 
 
 class Device:
@@ -74,22 +74,23 @@ class PeriodicDevice(Device):
         self.period_ps = period_ps
         self.raised = 0
         self.fire_times: List[int] = []
-        self._event: Optional[Event] = None
+        # Coalesced timer: one event object re-armed per period instead of
+        # a fresh allocation per RX interrupt.
+        self._timer: Optional[PeriodicTimer] = None
         gic.configure(spi)
 
     def start(self) -> None:
-        if self._event is None or not self._event.pending:
-            self._event = self.engine.schedule(
-                self.period_ps, self._fire, priority=PRIO_HW
+        if self._timer is None:
+            self._timer = PeriodicTimer(
+                self.engine, self.period_ps, self._fire, (), priority=PRIO_HW
             )
+        self._timer.start()
 
     def stop(self) -> None:
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
+        if self._timer is not None:
+            self._timer.stop()
 
     def _fire(self) -> None:
         self.raised += 1
         self.fire_times.append(self.engine.now)
         self.gic.pulse(self.spi)
-        self._event = self.engine.schedule(self.period_ps, self._fire, priority=PRIO_HW)

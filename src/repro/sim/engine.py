@@ -6,6 +6,19 @@ Two events scheduled for the same instant fire in (priority, insertion
 order). All model code is single-threaded Python over integer timestamps,
 so a given (platform config, root seed) pair always produces bit-identical
 traces. The test suite relies on this.
+
+Allocation discipline
+---------------------
+Hot simulations fire tens of millions of events; allocating a fresh
+:class:`Event` per schedule dominated the profile. The engine therefore
+keeps a bounded free list: an event object is returned to the pool when
+its heap entry is popped (fired, or discarded after cancellation) and is
+reinitialised by the next ``schedule``. Consequence for holders: drop your
+reference when the callback runs (every in-tree holder does — see
+``sim/process.py``, ``hw/timer.py``); calling ``cancel()`` on a reference
+retained past the firing may cancel an unrelated recycled event.
+Periodic work should use :meth:`Engine.schedule_periodic`, which re-arms
+one event object in place and never touches the allocator at all.
 """
 
 from __future__ import annotations
@@ -21,22 +34,39 @@ PRIO_HW = 0
 PRIO_DEFAULT = 10
 PRIO_LATE = 20
 
+#: Upper bound on pooled Event objects (beyond this, pops just drop the
+#: object for the GC — the pool only has to cover the steady-state churn).
+EVENT_POOL_CAP = 1024
+
 
 class Event:
     """A scheduled callback. Returned by :meth:`Engine.schedule` for cancellation."""
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "engine")
 
-    def __init__(self, time: int, priority: int, seq: int, fn: Callable, args: Tuple):
+    def __init__(
+        self,
+        time: int,
+        priority: int,
+        seq: int,
+        fn: Callable,
+        args: Tuple,
+        engine: Optional["Engine"] = None,
+    ):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.fn: Optional[Callable] = fn
         self.args = args
         self.cancelled = False
+        self.engine = engine
 
     def cancel(self) -> None:
-        """Prevent the event from firing. Idempotent; safe after firing."""
+        """Prevent the event from firing. Idempotent; safe on fired events
+        (no-op) as long as the holder has not kept the reference across a
+        pool recycle (see the module docstring)."""
+        if self.fn is not None and not self.cancelled and self.engine is not None:
+            self.engine._pending -= 1
         self.cancelled = True
         self.fn = None  # break reference cycles early
         self.args = ()
@@ -50,15 +80,103 @@ class Event:
         return f"Event(t={self.time}, prio={self.priority}, seq={self.seq}, {state})"
 
 
+class PeriodicTimer:
+    """A coalesced periodic callback: one :class:`Event` object re-armed in
+    place every period.
+
+    The naive pattern (each firing schedules the next) allocates an event
+    per period; a 10 Hz tick over a long campaign is pure churn. This
+    timer re-pushes the *same* event object with a fresh sequence number
+    after the callback returns, so the ordering semantics are identical to
+    the naive pattern (the re-arm takes its seq *after* anything the
+    callback scheduled) with zero allocation.
+
+    ``stop()``/``start()`` are safe from inside the callback; fire times
+    are drift-free multiples of ``period_ps`` from the start instant.
+    """
+
+    __slots__ = (
+        "engine", "period_ps", "priority", "fn", "args",
+        "fires", "_event", "_running", "_epoch",
+    )
+
+    def __init__(
+        self,
+        engine: "Engine",
+        period_ps: int,
+        fn: Callable,
+        args: Tuple,
+        priority: int = PRIO_DEFAULT,
+    ):
+        if period_ps <= 0:
+            raise SimulationError(f"periodic timer needs a positive period, got {period_ps}")
+        self.engine = engine
+        self.period_ps = period_ps
+        self.priority = priority
+        self.fn = fn
+        self.args = args
+        self.fires = 0
+        self._event: Optional[Event] = None
+        self._running = False
+        #: Bumped by start()/stop() so a re-arm in flight can detect that
+        #: the timer was reconfigured from inside its own callback.
+        self._epoch = 0
+
+    @property
+    def active(self) -> bool:
+        return self._running
+
+    def start(self, first_delay_ps: Optional[int] = None) -> "PeriodicTimer":
+        """Arm the timer; first fire after ``first_delay_ps`` (default: one
+        period). Idempotent while running."""
+        if self._running:
+            return self
+        self._running = True
+        self._epoch += 1
+        delay = self.period_ps if first_delay_ps is None else first_delay_ps
+        self._event = self.engine.schedule(delay, self._tick, priority=self.priority)
+        return self
+
+    def stop(self) -> None:
+        """Disarm. Safe mid-callback: the pending re-arm is abandoned."""
+        if not self._running:
+            return
+        self._running = False
+        self._epoch += 1
+        ev = self._event
+        self._event = None
+        if ev is not None and ev.pending:
+            ev.cancel()
+
+    def _tick(self) -> None:
+        epoch = self._epoch
+        self.fires += 1
+        self.fn(*self.args)
+        if self._running and self._epoch == epoch:
+            # Re-arm by re-pushing the already-fired event object: same
+            # semantics as scheduling a new event here, no allocation.
+            ev = self._event
+            ev.fn = self._tick
+            ev.args = ()
+            ev.cancelled = False
+            self.engine._repush(ev, self.engine.now + self.period_ps)
+
+
 class Engine:
     """Event queue + simulated clock (integer picoseconds)."""
 
-    def __init__(self):
+    def __init__(self, *, event_pool: bool = True):
         self.now: int = 0
         self._queue: List[Tuple[int, int, int, Event]] = []
         self._seq = 0
         self._running = False
         self.events_fired = 0
+        #: Live (schedulable, not cancelled) events — maintained on
+        #: schedule/cancel/fire so `queue_length` is O(1).
+        self._pending = 0
+        self._pool_enabled = event_pool
+        self._free: List[Event] = []
+        self.pool_reuses = 0
 
     # -- scheduling ------------------------------------------------------
 
@@ -75,9 +193,54 @@ class Engine:
                 f"cannot schedule into the past (t={time} < now={self.now})"
             )
         self._seq += 1
-        ev = Event(time, priority, self._seq, fn, args)
+        if self._free:
+            ev = self._free.pop()
+            ev.time = time
+            ev.priority = priority
+            ev.seq = self._seq
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+            self.pool_reuses += 1
+        else:
+            ev = Event(time, priority, self._seq, fn, args, self)
         heapq.heappush(self._queue, (time, priority, self._seq, ev))
+        self._pending += 1
         return ev
+
+    def schedule_periodic(
+        self,
+        period_ps: int,
+        fn: Callable,
+        *args: Any,
+        priority: int = PRIO_DEFAULT,
+        first_delay_ps: Optional[int] = None,
+    ) -> PeriodicTimer:
+        """Start a coalesced periodic callback (see :class:`PeriodicTimer`)."""
+        return PeriodicTimer(self, period_ps, fn, args, priority).start(first_delay_ps)
+
+    def _repush(self, ev: Event, time: int) -> None:
+        """Re-enter an already-popped event with a fresh sequence number.
+
+        Only :class:`PeriodicTimer` uses this; the event must not currently
+        be in the heap.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time} < now={self.now})"
+            )
+        self._seq += 1
+        ev.time = time
+        ev.seq = self._seq
+        heapq.heappush(self._queue, (time, ev.priority, self._seq, ev))
+        self._pending += 1
+
+    def _recycle(self, ev: Event) -> None:
+        """Return a popped, dead event object to the free list."""
+        if self._pool_enabled and len(self._free) < EVENT_POOL_CAP:
+            ev.fn = None
+            ev.args = ()
+            self._free.append(ev)
 
     # -- execution -------------------------------------------------------
 
@@ -86,14 +249,20 @@ class Engine:
         while self._queue:
             time, _prio, _seq, ev = heapq.heappop(self._queue)
             if ev.cancelled or ev.fn is None:
+                self._recycle(ev)  # counter already dropped at cancel()
                 continue
             if time < self.now:
                 raise SimulationError("event queue time went backwards")
             self.now = time
             fn, args = ev.fn, ev.args
             ev.fn, ev.args = None, ()  # mark fired
+            self._pending -= 1
             self.events_fired += 1
             fn(*args)
+            # A periodic timer re-arms its own event inside the callback
+            # (fn restored); only genuinely dead objects are pooled.
+            if ev.fn is None:
+                self._recycle(ev)
             return True
         return False
 
@@ -127,6 +296,7 @@ class Engine:
                 next_time, _, _, head = self._queue[0]
                 if not head.pending:
                     heapq.heappop(self._queue)
+                    self._recycle(head)
                     continue
                 if next_time > t:
                     break
@@ -142,7 +312,9 @@ class Engine:
 
     @property
     def queue_length(self) -> int:
-        return sum(1 for _, _, _, ev in self._queue if ev.pending)
+        """Pending (uncancelled, unfired) events — O(1), maintained on
+        schedule/cancel/fire rather than scanned from the heap."""
+        return self._pending
 
     def peek_time(self) -> Optional[int]:
         """Timestamp of the next pending event, or None.
@@ -157,6 +329,7 @@ class Engine:
             if ev.pending:
                 return time
             heapq.heappop(queue)
+            self._recycle(ev)
         return None
 
 

@@ -8,10 +8,16 @@ done post-run, often vectorized via :meth:`Tracer.column`.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
 import numpy as np
+
+#: Records serialized per hashlib update when digesting incrementally —
+#: large enough to amortize the call overhead, small enough to bound the
+#: transient join buffer.
+DIGEST_BATCH = 4096
 
 
 @dataclass(frozen=True)
@@ -27,6 +33,19 @@ class TraceRecord:
         return self.data[key]
 
 
+def record_bytes(record) -> bytes:
+    """Canonical byte serialization of one record for digesting.
+
+    Any reordering, retiming, or payload drift changes the bytes; shared
+    by the incremental tracer digest, the determinism checker, and the
+    fault campaign's per-VM containment digests so they all agree on what
+    "the same trace" means.
+    """
+    return repr(
+        (record.time, record.category, record.subject, sorted(record.data.items()))
+    ).encode()
+
+
 class Tracer:
     """Append-only trace with category filtering.
 
@@ -40,6 +59,11 @@ class Tracer:
             set(enabled_categories) if enabled_categories is not None else None
         )
         self.counts: Dict[str, int] = {}
+        # Incremental digest state: records up to `_digested` are already
+        # folded into `_digest`, so repeated digest queries only hash the
+        # suffix appended since the previous call.
+        self._digest = hashlib.sha256()
+        self._digested = 0
 
     def wants(self, category: str) -> bool:
         return self.enabled is None or category in self.enabled
@@ -48,6 +72,30 @@ class Tracer:
         self.counts[category] = self.counts.get(category, 0) + 1
         if self.wants(category):
             self.records.append(TraceRecord(time, category, subject, data))
+
+    def digest_records(self) -> str:
+        """SHA-256 over every record so far, hashed incrementally.
+
+        Records already folded in are never re-serialized: each call
+        batches only the suffix appended since the last call into
+        ``DIGEST_BATCH``-record hash updates. Digesting a trace N times
+        over its lifetime (per-scenario, per-sweep-entry, ...) is therefore
+        O(records) total instead of O(N * records).
+        """
+        records = self.records
+        end = len(records)
+        for start in range(self._digested, end, DIGEST_BATCH):
+            # Per-record terminator (not a join) so the byte stream — and
+            # hence the digest — is independent of where batch boundaries
+            # fall across calls.
+            self._digest.update(
+                b"".join(
+                    record_bytes(r) + b"\x1e"
+                    for r in records[start:start + DIGEST_BATCH]
+                )
+            )
+        self._digested = end
+        return self._digest.copy().hexdigest()
 
     # -- queries -----------------------------------------------------------
 

@@ -28,6 +28,7 @@ def test_registry_has_the_documented_rules():
         "float-timestamp",
         "unordered-iter",
         "mutable-default-arg",
+        "engine-now-write",
     }
     assert all(r.description for r in all_rules())
 
@@ -262,6 +263,54 @@ def test_comma_separated_rule_list_with_justification():
 def test_suppression_only_covers_named_rule():
     src = "assert time.time()  # simlint: disable=wall-clock\n"
     assert rules_hit(src) == {"no-bare-assert"}
+
+
+# -- engine-now-write -------------------------------------------------------
+
+
+def test_engine_now_write_flagged():
+    src = """
+    def warp(engine, t):
+        engine.now = t
+    """
+    assert rules_hit(src) == {"engine-now-write"}
+
+
+def test_engine_now_augmented_and_nested_writes_flagged():
+    src = """
+    def warp(node, dt):
+        node.machine.engine.now += dt
+    """
+    assert rules_hit(src) == {"engine-now-write"}
+    src_tuple = """
+    def warp(engine, t):
+        engine.now, other = t, 1
+    """
+    assert rules_hit(src_tuple) == {"engine-now-write"}
+
+
+def test_engine_now_read_is_clean():
+    src = """
+    def sample(engine):
+        t = engine.now
+        engine.schedule(1000, sample, engine)
+        return t
+    """
+    assert rules_hit(src) == set()
+
+
+def test_engine_now_write_exempt_in_engine_module():
+    src = """
+    class Engine:
+        def step(self):
+            self.now = 5
+    """
+    assert rules_hit(src, path="src/repro/sim/engine.py") == set()
+
+
+def test_engine_now_write_suppressed_inline():
+    src = "eng.now = 0  # simlint: disable=engine-now-write -- test fixture\n"
+    assert diags(src) == []
 
 
 # -- drivers / CLI ----------------------------------------------------------

@@ -21,6 +21,7 @@ def test_parser_has_all_commands():
         "lint",
         "check-determinism",
         "faults",
+        "bench",
     }
 
 

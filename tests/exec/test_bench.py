@@ -1,0 +1,61 @@
+"""The ``repro bench`` harness: structure, honesty, and archiving."""
+
+import json
+
+from repro.exec.bench import (
+    bench_digest,
+    bench_engine_events,
+    bench_periodic,
+    default_bench_path,
+    run_bench,
+    summarize_bench,
+    write_bench,
+)
+
+
+def test_engine_microbench_reports_rates_and_pool_use():
+    r = bench_engine_events(5_000, event_pool=True)
+    assert r["events_fired"] >= 5_000
+    assert r["events_per_sec"] > 0
+    assert r["pool_reuses"] > 0
+    r_off = bench_engine_events(5_000, event_pool=False)
+    assert r_off["pool_reuses"] == 0
+    assert r_off["events_fired"] == r["events_fired"]
+
+
+def test_periodic_bench_fires_equal_counts():
+    r = bench_periodic(2_000)
+    assert r["fires"] == 2_000
+    assert r["coalesced_seconds"] > 0 and r["naive_seconds"] > 0
+
+
+def test_digest_bench_agrees_between_paths():
+    r = bench_digest(3_000, repeats=3)
+    assert r["digests_agree"]
+    assert r["incremental_seconds"] > 0
+
+
+def test_run_bench_quick_structure(tmp_path):
+    results = run_bench(quick=True, jobs=1)
+    assert results["quick"] is True
+    assert results["host"]["cpu_count"] >= 1
+    assert results["engine"]["pooled"]["events_per_sec"] > 0
+    assert results["parallel"]["jobs"] == 1
+    assert results["parallel"]["serial_seconds"] > 0
+    # Quick mode skips the expensive NPB figure.
+    assert "fig9_10_npb_seconds" not in results["figures"]
+
+    path = write_bench(results, str(tmp_path / "BENCH_test.json"))
+    with open(path) as fh:
+        loaded = json.load(fh)
+    assert loaded["engine"]["pool_speedup"] == results["engine"]["pool_speedup"]
+
+    summary = summarize_bench(results)
+    assert "ev/s pooled" in summary
+    assert "serial" in summary
+
+
+def test_default_bench_path_is_dated():
+    path = default_bench_path()
+    assert path.startswith("BENCH_") and path.endswith(".json")
+    assert len(path) == len("BENCH_2026-08-06.json")

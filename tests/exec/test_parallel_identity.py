@@ -1,0 +1,92 @@
+"""The executor's headline guarantee: parallel == serial, bit for bit.
+
+Host parallelism must never affect simulated results — the entire fan-out
+is over (config, seed, trial, scenario) cells that are pure functions of
+their parameters. These tests run the same campaigns at ``jobs=1`` and
+``jobs=4`` and compare the full result structures (modulo
+``wall_seconds``, which measures the host, not the simulation).
+"""
+
+import numpy as np
+
+SEED = 20260806
+
+
+def _strip_wall(results):
+    out = dict(results)
+    out.pop("wall_seconds", None)
+    return out
+
+
+def test_run_campaign_parallel_is_bit_identical():
+    from repro.core.campaign import run_campaign
+
+    kwargs = dict(
+        seed=SEED, trials=1, selfish_duration_s=0.05, include_extensions=True
+    )
+    serial = run_campaign(jobs=1, **kwargs)
+    parallel = run_campaign(jobs=4, **kwargs)
+    assert _strip_wall(serial) == _strip_wall(parallel)
+
+
+def test_fig7_fig8_tables_identical_across_jobs():
+    from repro.core.experiments import run_fig7_fig8
+
+    t1 = run_fig7_fig8(trials=1, seed=SEED, jobs=1)
+    t4 = run_fig7_fig8(trials=1, seed=SEED, jobs=4)
+    assert list(t1) == list(t4)
+    for bench in t1:
+        assert t1[bench].unit == t4[bench].unit
+        assert t1[bench].normalized == t4[bench].normalized
+        assert list(t1[bench].aggregates) == list(t4[bench].aggregates)
+        for cfg in t1[bench].aggregates:
+            assert (
+                list(t1[bench].aggregates[cfg].values)
+                == list(t4[bench].aggregates[cfg].values)
+            )
+
+
+def test_selfish_profiles_identical_across_jobs():
+    from repro.core.experiments import run_selfish_profiles
+
+    p1 = run_selfish_profiles(duration_s=0.05, seed=SEED, jobs=1)
+    p4 = run_selfish_profiles(duration_s=0.05, seed=SEED, jobs=4)
+    assert list(p1) == list(p4)
+    for cfg in p1:
+        assert p1[cfg].summary == p4[cfg].summary
+        assert np.array_equal(p1[cfg].times_us, p4[cfg].times_us)
+        assert np.array_equal(p1[cfg].latencies_us, p4[cfg].latencies_us)
+
+
+def test_determinism_sweep_identical_across_jobs():
+    from repro.analysis.determinism import check_determinism
+
+    serial = check_determinism(config="all", seed=SEED, runs=2, jobs=1)
+    parallel = check_determinism(config="all", seed=SEED, runs=2, jobs=4)
+    assert serial == parallel
+    assert serial["identical"]
+
+
+def test_resilience_report_identical_across_jobs():
+    from repro.faults.campaign import run_resilience
+
+    kwargs = dict(
+        seed=SEED,
+        configs=["hafnium-kitten"],
+        scenarios=["vm-panic", "irq-drop"],
+        with_containment=False,
+    )
+    serial = run_resilience(jobs=1, **kwargs)
+    parallel = run_resilience(jobs=4, **kwargs)
+    assert serial == parallel
+
+
+def test_randomized_campaign_identical_across_jobs():
+    from repro.faults.campaign import run_randomized_campaign
+
+    kwargs = dict(config="hafnium-kitten", seed=SEED, campaigns=2, count=2)
+    serial = run_randomized_campaign(jobs=1, **kwargs)
+    parallel = run_randomized_campaign(jobs=4, **kwargs)
+    assert serial == parallel
+    agg = serial["aggregate"]
+    assert 0.0 <= agg["survival_min"] <= agg["survival_mean"] <= agg["survival_max"] <= 1.0

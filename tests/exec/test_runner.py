@@ -1,0 +1,81 @@
+"""SimJob descriptors and the ParallelRunner merge contract."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.exec import ParallelRunner, SimJob, execute_job, job_kinds, resolve_jobs
+
+
+def test_simjob_key_is_stable_and_order_insensitive():
+    a = SimJob.make("bench-trial", config="native", trial=1, seed=7)
+    b = SimJob.make("bench-trial", seed=7, trial=1, config="native")
+    assert a == b
+    assert a.key == b.key
+    assert a.key == "bench-trial(config='native', seed=7, trial=1)"
+    assert a.kwargs() == {"config": "native", "trial": 1, "seed": 7}
+
+
+def test_simjob_is_hashable_and_picklable():
+    import pickle
+
+    job = SimJob.make("irq-latency", routing="direct", seed=3)
+    assert pickle.loads(pickle.dumps(job)) == job
+    assert len({job, SimJob.make("irq-latency", routing="direct", seed=3)}) == 1
+
+
+def test_job_kinds_cover_the_campaign_cells():
+    kinds = set(job_kinds())
+    assert {
+        "selfish-profile",
+        "bench-trial",
+        "determinism-run",
+        "fault-scenario",
+        "containment",
+        "irq-latency",
+        "interference",
+        "randomized-faults",
+    } <= kinds
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ConfigurationError, match="unknown job kind"):
+        execute_job(SimJob.make("no-such-kind", x=1))
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(4) == 4
+    assert resolve_jobs(None) >= 1
+    with pytest.raises(ConfigurationError, match="jobs must be >= 1"):
+        resolve_jobs(0)
+
+
+def test_duplicate_job_keys_rejected():
+    jobs = [
+        SimJob.make("irq-latency", routing="direct", seed=3),
+        SimJob.make("irq-latency", routing="direct", seed=3),
+    ]
+    with pytest.raises(ConfigurationError, match="duplicate job keys"):
+        ParallelRunner(jobs=1).run(jobs)
+
+
+def test_runner_merge_is_keyed_by_submission_order():
+    jobs = [
+        SimJob.make("determinism-run", config="native", seed=11, run=i)
+        for i in range(2)
+    ]
+    serial = ParallelRunner(jobs=1).run(jobs)
+    assert list(serial) == [j.key for j in jobs]
+    parallel = ParallelRunner(jobs=2).run(jobs)
+    assert serial == parallel
+
+
+def test_runner_pool_path_matches_in_process_results():
+    jobs = [
+        SimJob.make("irq-latency", routing=mode, seed=5, duration_s=0.05)
+        for mode in ("forwarded", "direct")
+    ]
+    serial = ParallelRunner(jobs=1).run(jobs)
+    parallel = ParallelRunner(jobs=2).run(jobs)
+    assert serial == parallel
+    assert list(serial) == [j.key for j in jobs]

@@ -1,0 +1,187 @@
+"""Event free-list pooling and the coalesced PeriodicTimer.
+
+The pool must be invisible: recycled Event objects carry no state from
+their previous life, cancellation bookkeeping stays exact, and disabling
+the pool (``Engine(event_pool=False)``) changes nothing but allocation.
+"""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import EVENT_POOL_CAP, Engine, PeriodicTimer, PRIO_HW
+
+
+def test_fired_event_object_is_reused():
+    eng = Engine()
+    fired = []
+    ev1 = eng.schedule(10, fired.append, "a")
+    eng.run()
+    ev2 = eng.schedule(10, fired.append, "b")
+    assert ev2 is ev1  # recycled, not reallocated
+    eng.run()
+    assert fired == ["a", "b"]
+    assert eng.pool_reuses == 1
+
+
+def test_recycled_event_carries_no_stale_state():
+    eng = Engine()
+    out = []
+    ev1 = eng.schedule(10, out.append, "first")
+    eng.run()
+    ev2 = eng.schedule(20, out.append, "second", priority=PRIO_HW)
+    assert ev2.pending and not ev2.cancelled
+    assert ev2.priority == PRIO_HW
+    assert ev2.args == ("second",)
+    eng.run()
+    assert out == ["first", "second"]
+
+
+def test_cancelled_event_recycles_and_counter_stays_exact():
+    eng = Engine()
+    out = []
+    keep = eng.schedule(30, out.append, "keep")
+    drop = eng.schedule(10, out.append, "drop")
+    assert eng.queue_length == 2
+    drop.cancel()
+    assert eng.queue_length == 1
+    drop.cancel()  # idempotent: no double decrement
+    assert eng.queue_length == 1
+    eng.run()
+    assert out == ["keep"]
+    assert eng.queue_length == 0
+    assert keep.pending is False
+
+
+def test_queue_length_tracks_schedule_cancel_fire():
+    eng = Engine()
+    events = [eng.schedule(10 * (i + 1), lambda: None) for i in range(5)]
+    assert eng.queue_length == 5
+    events[2].cancel()
+    events[4].cancel()
+    assert eng.queue_length == 3
+    eng.run()
+    assert eng.queue_length == 0
+    assert eng.events_fired == 3
+
+
+def test_pool_is_bounded():
+    eng = Engine()
+    for i in range(EVENT_POOL_CAP + 100):
+        eng.schedule(1 + i, lambda: None)
+    eng.run()
+    assert len(eng._free) == EVENT_POOL_CAP
+
+
+def test_pool_disabled_engine_behaves_identically():
+    def workload(eng):
+        out = []
+        for i in range(50):
+            eng.schedule(10 + i, out.append, i)
+        cancel_me = eng.schedule(5, out.append, "never")
+        cancel_me.cancel()
+        eng.run()
+        return out, eng.now, eng.events_fired
+
+    pooled = workload(Engine(event_pool=True))
+    unpooled = workload(Engine(event_pool=False))
+    assert pooled == unpooled
+
+
+# -- PeriodicTimer ----------------------------------------------------------
+
+
+def test_periodic_timer_fires_on_exact_multiples():
+    eng = Engine()
+    times = []
+    timer = eng.schedule_periodic(100, lambda: times.append(eng.now))
+    eng.run_until(1_000)
+    timer.stop()
+    assert times == [100 * i for i in range(1, 11)]
+    assert timer.fires == 10
+
+
+def test_periodic_timer_reuses_one_event_object():
+    eng = Engine()
+    seen = set()
+    timer = eng.schedule_periodic(100, lambda: seen.add(id(timer._event)))
+    eng.run_until(2_000)
+    timer.stop()
+    assert timer.fires == 20
+    assert len(seen) == 1  # the same Event object re-armed every period
+
+
+def test_periodic_timer_first_delay_and_priority():
+    eng = Engine()
+    times = []
+    eng.schedule_periodic(100, lambda: times.append(eng.now), first_delay_ps=7)
+    eng.run_until(300)
+    assert times == [7, 107, 207]
+
+
+def test_periodic_timer_stop_from_inside_callback():
+    eng = Engine()
+    count = []
+    timer = eng.schedule_periodic(100, lambda: (count.append(1), timer.stop()))
+    eng.run_until(1_000)
+    assert len(count) == 1
+    assert not timer.active
+    assert eng.queue_length == 0
+
+
+def test_periodic_timer_restart_from_inside_callback_does_not_double_fire():
+    eng = Engine()
+    fires = []
+
+    def tick():
+        fires.append(eng.now)
+        if len(fires) == 1:
+            timer.stop()
+            timer.start()
+
+    timer = PeriodicTimer(eng, 100, tick, ())
+    timer.start()
+    eng.run_until(500)
+    timer.stop()
+    # restart inside the callback re-bases the period; no double-push
+    assert fires == [100, 200, 300, 400, 500]
+
+
+def test_periodic_timer_rejects_nonpositive_period():
+    with pytest.raises(SimulationError, match="positive period"):
+        PeriodicTimer(Engine(), 0, lambda: None, ())
+
+
+def test_periodic_timer_interleaves_like_naive_rescheduling():
+    """Re-arm ordering matches the naive schedule-at-end-of-callback
+    pattern: the re-push takes its sequence number after anything the
+    callback itself scheduled, so same-instant work the callback queued
+    fires before the next tick."""
+
+    def run(periodic: bool):
+        eng = Engine()
+        order = []
+
+        def body():
+            order.append(("tick", eng.now))
+            eng.schedule(100, order.append, ("oneshot", eng.now + 100))
+
+        if periodic:
+            eng.schedule_periodic(100, body)
+        else:
+            def naive():
+                body()
+                eng.schedule(100, naive)
+
+            eng.schedule(100, naive)
+        eng.run_until(300)
+        return order
+
+    expected = [
+        ("tick", 100),
+        ("oneshot", 200),
+        ("tick", 200),
+        ("oneshot", 300),
+        ("tick", 300),
+    ]
+    assert run(periodic=True) == expected
+    assert run(periodic=False) == expected
