@@ -18,8 +18,12 @@ from typing import Any, Dict, List
 
 from repro.common.errors import ConfigurationError
 
-#: Simulated compute per core in the quickstart workload (seconds).
+#: Simulated compute per core in the quickstart workload (seconds), split
+#: evenly across ``QUICKSTART_STEPS`` compute+barrier supersteps so the
+#: replay check also covers the spin-barrier/wakeup paths that real
+#: benchmarks live in, not just straight-line compute.
 QUICKSTART_COMPUTE_S = 0.01
+QUICKSTART_STEPS = 2
 
 
 def trace_digest(node) -> str:
@@ -53,20 +57,23 @@ def run_quickstart(config: str, seed: int) -> Dict[str, Any]:
     from repro.core.configs import ALL_CONFIGS, build_node
     from repro.core.node import run_until_done
     from repro.kernels.phases import ComputePhase
-    from repro.kernels.thread import Thread
+    from repro.kernels.thread import BarrierWait, SpinBarrier, Thread
 
     if config not in ALL_CONFIGS:
         raise ConfigurationError(
             f"unknown config {config!r} (choose from {', '.join(ALL_CONFIGS)})"
         )
     node = build_node(config, seed=seed)
+    soc = node.machine.soc
+    barrier = SpinBarrier(node.machine.engine, soc.num_cores, "det.barrier")
 
     def body(ops):
-        yield ComputePhase(ops)
+        for _ in range(QUICKSTART_STEPS):
+            yield ComputePhase(ops)
+            yield BarrierWait(barrier)
         return "done"
 
-    soc = node.machine.soc
-    ops = QUICKSTART_COMPUTE_S * soc.ipc * soc.freq_hz
+    ops = QUICKSTART_COMPUTE_S / QUICKSTART_STEPS * soc.ipc * soc.freq_hz
     threads = [
         Thread(f"det{c}", body(ops), cpu=c, aspace="det")
         for c in range(soc.num_cores)
@@ -93,8 +100,10 @@ def check_determinism(
 
     Returns ``{"identical": bool, "digests": [...], "runs": [...]}``.
     ``config="all"`` sweeps every evaluated configuration *plus* one
-    fault-injection scenario (the campaign smoke run), so the replay
-    guarantee is checked on the failure paths too; the result then has a
+    fault-injection scenario (the campaign smoke run) *plus* one
+    multi-node cluster scenario (a 3-rank BSP smoke), so the replay
+    guarantee is checked on the failure and scale-out paths too; the
+    result then has a
     per-config ``"sweep"`` mapping and top-level ``identical`` is the AND.
     With ``seeds > 1`` the ``"all"`` sweep repeats for root seeds
     ``seed, seed+1, ...`` and keys entries ``"{config}@seed={s}"``.
@@ -146,7 +155,7 @@ def _check_all(
     from repro.core.configs import ALL_CONFIGS
     from repro.exec import ParallelRunner, SimJob
 
-    names = list(ALL_CONFIGS) + ["faults-smoke"]
+    names = list(ALL_CONFIGS) + ["faults-smoke", "cluster-smoke"]
     seed_list = [seed + i for i in range(seeds)]
     # One flat fan-out: (config x seed x run). The merge walks the same
     # nesting serially, so sweep keys/order never depend on completion.

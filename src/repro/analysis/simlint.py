@@ -31,6 +31,11 @@ rule                      severity  flags
                                     ``sim/engine.py`` — the simulated clock only
                                     advances by firing events; writing it from model
                                     code desynchronizes the queue and the trace
+``trace-payload-hygiene`` error     non-repr-stable values (sets, generators,
+                                    lambdas, ``id()``/``object()``) passed as trace
+                                    payload keywords to ``.trace(...)``/``.emit(...)``
+                                    — record digests hash ``repr`` of the payload, so
+                                    unordered or address-bearing reprs break replay
 ========================  ========  ===================================================
 
 Every rule honours ``# simlint: disable=<rule>`` suppressions (line-level
@@ -514,6 +519,68 @@ class EngineNowWriteRule(Rule):
                     "simulated clock advances only by firing events — "
                     "schedule work instead of warping time",
                 )
+
+
+#: Constructors whose result repr is unordered or carries a host memory
+#: address — either way, not replay-stable once hashed into a digest.
+_UNSTABLE_PAYLOAD_CTORS = ("set", "frozenset", "id", "object", "iter")
+
+
+@register
+class TracePayloadHygieneRule(Rule):
+    name = "trace-payload-hygiene"
+    severity = Severity.ERROR
+    description = (
+        "trace payloads are digested via repr(sorted(data.items())); values "
+        "must be repr-stable primitives (numbers, strings, bools, ordered "
+        "containers of them) — sets reorder, generators/lambdas/objects "
+        "embed host addresses, id() is a host address"
+    )
+
+    #: Minimum positional args before the payload keywords start:
+    #: Machine.trace(category, subject, **data) and
+    #: Tracer.emit(time, category, subject, **data).
+    _MIN_POSITIONAL = {"trace": 2, "emit": 3}
+
+    def _unstable(self, node: ast.AST) -> Optional[str]:
+        """Why this payload expression is not repr-stable (None if fine)."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "set reprs follow hash order, not a deterministic one"
+        if isinstance(node, ast.GeneratorExp):
+            return "generator reprs embed a host memory address"
+        if isinstance(node, ast.Lambda):
+            return "function reprs embed a host memory address"
+        if isinstance(node, ast.Call):
+            name = _dotted_name(node.func)
+            base = name.split(".")[-1] if name else None
+            if base in _UNSTABLE_PAYLOAD_CTORS:
+                if base in ("set", "frozenset"):
+                    return f"`{base}()` reprs follow hash order"
+                return f"`{base}()` yields a host-address-dependent value"
+        return None
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.keywords:
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            min_pos = self._MIN_POSITIONAL.get(func.attr)
+            if min_pos is None or len(node.args) < min_pos:
+                continue
+            for kw in node.keywords:
+                if kw.arg is None:  # **data passthrough: opaque here
+                    continue
+                reason = self._unstable(kw.value)
+                if reason:
+                    yield ctx.diag(
+                        self,
+                        kw.value,
+                        f"trace payload `{kw.arg}=` is not repr-stable: "
+                        f"{reason}; pass a sorted tuple/list or a primitive "
+                        "instead",
+                    )
 
 
 # ---------------------------------------------------------------------------

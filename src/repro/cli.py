@@ -10,6 +10,7 @@ experiments without writing any Python:
     python -m repro interference            # co-location extension
     python -m repro boot                    # show the measured boot chain
     python -m repro faults                  # fault-injection resilience campaign
+    python -m repro cluster --nodes 2,4,8   # multi-node BSP scaling sweep
 
 plus the correctness tooling from ``repro.analysis``:
 
@@ -237,10 +238,14 @@ def _cmd_faults(args) -> int:
             f"{report['campaigns']} seeds x {report['faults_per_run']} faults"
         )
         for s, r in report["runs"].items():
+            mttf = r.get("mttf_ms")
+            avail = r.get("availability")
             print(
                 f"  seed {s}: survival={r['job_survival_rate']:.2f} "
                 f"detections={r['detections']}/{r['faults_injected']} "
-                f"restarts={r['restarts']} degraded={r['degraded']}"
+                f"restarts={r['restarts']} degraded={r['degraded']} "
+                f"mttf={'-' if mttf is None else f'{mttf:.1f}ms'} "
+                f"avail={'-' if avail is None else f'{avail:.4f}'}"
             )
         agg = report["aggregate"]
         print(
@@ -248,6 +253,16 @@ def _cmd_faults(args) -> int:
             f"[{agg['survival_min']:.2f}, {agg['survival_max']:.2f}] "
             f"detection rate={agg['detection_rate']:.2f} "
             f"restarts={agg['restarts']}"
+        )
+        mttf = agg.get("mttf_ms")
+        avail = agg.get("availability_mean")
+        avail_min = agg.get("availability_min")
+        print(
+            f"           pooled MTTF={'-' if mttf is None else f'{mttf:.1f}ms'} "
+            f"downtime={agg.get('downtime_ms', 0.0):.1f}ms "
+            f"availability mean="
+            f"{'-' if avail is None else f'{avail:.4f}'} "
+            f"min={'-' if avail_min is None else f'{avail_min:.4f}'}"
         )
         return 0
 
@@ -308,6 +323,63 @@ def _cmd_faults(args) -> int:
         for c in report.get("containment", {}).values()
     )
     return 1 if leaked else 0
+
+
+def _cmd_cluster(args) -> int:
+    import hashlib
+    import json
+
+    from repro.cluster.campaign import run_scaling
+    from repro.common.errors import ConfigurationError
+    from repro.core.configs import PAPER_LABELS
+
+    configs = args.configs.split(",") if args.configs else None
+    try:
+        counts = [int(n) for n in str(args.nodes).split(",") if n.strip()]
+        report = run_scaling(
+            configs=configs,
+            node_counts=counts,
+            seed=args.seed,
+            jobs=_jobs(args),
+            supersteps=args.supersteps,
+            step_compute_s=args.step_ms / 1000.0,
+            fail_rank=args.fail_rank,
+            fail_at_ms=args.fail_at_ms,
+        )
+    except (ConfigurationError, ValueError) as exc:
+        print(f"repro cluster: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, default=str)
+        print(f"wrote {args.output}")
+    base_n = report["node_counts"][0]
+    print(
+        f"BSP cluster scaling (supersteps={report['supersteps']}, "
+        f"step={args.step_ms:g}ms compute, seed={args.seed:#x}):"
+    )
+    print(
+        f"  {'config':<10s} {'nodes':>5s} {'mean-step':>10s} {'max-step':>10s} "
+        f"{'vs-native':>9s} {'vs-n' + str(base_n):>7s} {'failed':>6s}"
+    )
+    for row in report["rows"]:
+        label = PAPER_LABELS.get(row["config"], row["config"])
+        slow = row["slowdown_vs_native"]
+        amp = row["amplification"]
+        failed = ",".join(str(r) for r in row["failed_ranks"]) or "-"
+        print(
+            f"  {label:<10s} {row['nodes']:>5d} "
+            f"{row['mean_step_ms']:>8.3f}ms {row['max_step_ms']:>8.3f}ms "
+            f"{'-' if slow is None else f'{slow:.3f}':>9s} "
+            f"{'-' if amp is None else f'{amp:.3f}':>7s} {failed:>6s}"
+        )
+    # One digest over every cell's trace digest: the whole sweep is
+    # bit-identical across --jobs levels iff this line is.
+    h = hashlib.sha256()
+    for key in sorted(report["cells"]):
+        h.update(f"{key}={report['cells'][key]['digest']};".encode())
+    print(f"report digest: {h.hexdigest()}")
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -437,6 +509,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_flag(p)
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser(
+        "cluster",
+        help="multi-node BSP scaling sweep: step time, slowdown vs native, "
+        "and noise amplification vs the smallest node count",
+    )
+    p.add_argument(
+        "--nodes", type=str, default="2,4,8",
+        help="comma-separated node counts to sweep (e.g. 2,4,8,16,32,64)",
+    )
+    p.add_argument(
+        "--configs", type=str, default="",
+        help="comma-separated configs (default: all three)",
+    )
+    p.add_argument("--supersteps", type=int, default=6)
+    p.add_argument(
+        "--step-ms", type=float, default=2.0,
+        help="per-superstep compute phase per core (simulated ms)",
+    )
+    p.add_argument(
+        "--fail-rank", type=int, default=None,
+        help="inject a node-failure fault killing this rank mid-run",
+    )
+    p.add_argument(
+        "--fail-at-ms", type=float, default=None,
+        help="when to kill it (simulated ms after start; default 1.0)",
+    )
+    p.add_argument("--output", "-o", type=str, default="")
+    _add_jobs_flag(p)
+    p.set_defaults(fn=_cmd_cluster)
 
     p = sub.add_parser(
         "bench",

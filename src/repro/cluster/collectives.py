@@ -1,0 +1,197 @@
+"""Collective primitives over the cluster fabric.
+
+These are generator *fragments*: thread bodies compose them with
+``yield from`` so every CPU cost (per-message software overhead), sleep
+(retry backoff) and block (waiting on the NIC's receive signal) runs
+through the ordinary kernel dispatch loop — meaning OS noise on the
+hosting config delays messaging exactly as it delays compute. That
+coupling is the mechanism behind BSP noise amplification.
+
+``send_message`` mirrors :func:`repro.hafnium.mailbox.send_with_retry`:
+BUSY from a saturated ingress port backs off exponentially
+(``base_backoff_ps << attempt``) up to ``max_attempts``; a non-busy
+failure (dead peer) breaks out immediately.
+
+The collectives are flat trees rooted at rank 0, tolerant of node
+failure: in-band ``death`` notices wake blocked participants, gather
+membership is re-evaluated against the live set, and a dead root makes
+the collective return ``{"ok": False, "error": "root-failed"}`` rather
+than deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.cluster.fabric import MSG_DEATH, NetMessage
+from repro.hafnium.mailbox import RETRY_BASE_BACKOFF_PS, RETRY_MAX_ATTEMPTS
+from repro.kernels.phases import ComputePhase
+from repro.kernels.thread import Sleep, WaitEvent
+
+#: Software cost of posting/draining one message (ops on the sending
+#: core): syscall-ish overhead where per-message OS noise couples in.
+SEND_CPU_OPS = 2500.0
+
+COLLECTIVE_ROOT = 0
+
+
+def send_message(
+    cluster,
+    src: int,
+    dst: int,
+    payload: Any,
+    *,
+    kind: str,
+    tag: Any,
+    size_bytes: int = 64,
+    max_attempts: int = RETRY_MAX_ATTEMPTS,
+    base_backoff_ps: int = RETRY_BASE_BACKOFF_PS,
+):
+    """Yield-from fragment: send with mailbox-style retry/backoff.
+
+    Returns ``{"ok": bool, "attempts": int, "error": Optional[str]}``.
+    """
+    attempt = 0
+    result: Dict[str, Any] = {"ok": False, "busy": False, "error": "not-sent"}
+    while attempt < max_attempts:
+        # Per-attempt software overhead (fresh phase object per yield).
+        yield ComputePhase(SEND_CPU_OPS)
+        result = cluster.fabric.send(
+            src, dst, payload, kind=kind, tag=tag, size_bytes=size_bytes
+        )
+        attempt += 1
+        if result["ok"]:
+            return {"ok": True, "attempts": attempt, "error": None}
+        if not result.get("busy"):
+            break
+        if attempt < max_attempts:
+            yield Sleep(base_backoff_ps << (attempt - 1))
+    return {"ok": False, "attempts": attempt, "error": result.get("error")}
+
+
+def recv_match(cluster, rank: int, match: Callable[[NetMessage], bool]):
+    """Yield-from fragment: block until a matching message arrives on this
+    rank's NIC, then consume and return it. The match predicate should
+    also accept ``death`` notices when membership changes matter — a
+    blocked receiver is only woken by messages it matches."""
+    nic = cluster.nodes[rank].nic
+    while True:
+        msg = nic.take(match)
+        if msg is not None:
+            return msg
+        yield WaitEvent(
+            nic.recv_signal, ready=lambda: nic.peek(match) is not None
+        )
+
+
+def _want(kind: str, tag: Any) -> Callable[[NetMessage], bool]:
+    def match(msg: NetMessage) -> bool:
+        return (msg.kind == kind and msg.tag == tag) or msg.kind == MSG_DEATH
+    return match
+
+
+def _gather_broadcast(
+    cluster,
+    rank: int,
+    tag: Any,
+    *,
+    op: str,
+    value: Any,
+    combine: Callable[[Dict[int, Any]], Any],
+    root: int = COLLECTIVE_ROOT,
+    size_bytes: int = 64,
+    send_opts: Optional[Dict[str, Any]] = None,
+):
+    """Flat-tree gather + broadcast core shared by all collectives.
+
+    Non-roots send a ``contrib`` and await the ``result`` (or root
+    death); the root collects contributions from every currently-live
+    rank (membership re-checked whenever a death notice arrives), reduces
+    them in rank order, and broadcasts. Returns
+    ``{"ok", "value", "t_ps", "error"}``.
+    """
+    opts = dict(send_opts or {})
+    engine = cluster.engine
+    if not cluster.alive(root):
+        return {"ok": False, "value": None, "t_ps": engine.now,
+                "error": "root-failed"}
+
+    if rank == root:
+        contribs: Dict[int, Any] = {root: value}
+        match = _want("contrib", tag)
+        while any(r not in contribs for r in cluster.live_ranks()):
+            msg = yield from recv_match(cluster, rank, match)
+            if msg.kind == MSG_DEATH:
+                continue  # live_ranks() already shrank; re-evaluate need.
+            contribs[msg.src] = msg.payload
+        live = cluster.live_ranks()
+        result = combine({r: contribs[r] for r in live})
+        for dst in live:
+            if dst == root:
+                continue
+            yield from send_message(
+                cluster, root, dst, result,
+                kind="result", tag=tag, size_bytes=size_bytes, **opts,
+            )
+        cluster.record_collective(op, tag, rank)
+        return {"ok": True, "value": result, "t_ps": engine.now, "error": None}
+
+    sent = yield from send_message(
+        cluster, rank, root, value,
+        kind="contrib", tag=tag, size_bytes=size_bytes, **opts,
+    )
+    if not sent["ok"]:
+        return {"ok": False, "value": None, "t_ps": engine.now,
+                "error": sent["error"]}
+    match = _want("result", tag)
+    while True:
+        msg = yield from recv_match(cluster, rank, match)
+        if msg.kind != MSG_DEATH:
+            cluster.record_collective(op, tag, rank)
+            return {"ok": True, "value": msg.payload, "t_ps": engine.now,
+                    "error": None}
+        if not cluster.alive(root):
+            return {"ok": False, "value": None, "t_ps": engine.now,
+                    "error": "root-failed"}
+
+
+def barrier(cluster, rank: int, tag: Any, *, root: int = COLLECTIVE_ROOT,
+            **send_opts):
+    """All live ranks rendezvous; returns when every live rank arrived."""
+    result = yield from _gather_broadcast(
+        cluster, rank, tag, op="barrier", value=None,
+        combine=lambda contribs: True, root=root,
+        size_bytes=0, send_opts=send_opts,
+    )
+    return result
+
+
+def allreduce(cluster, rank: int, value: float, tag: Any, *,
+              root: int = COLLECTIVE_ROOT, size_bytes: int = 64, **send_opts):
+    """Sum-reduce ``value`` across live ranks (deterministic rank-order
+    accumulation) and broadcast the total."""
+    def combine(contribs: Dict[int, Any]) -> float:
+        total = 0.0
+        for r in sorted(contribs):
+            total += contribs[r]
+        return total
+
+    result = yield from _gather_broadcast(
+        cluster, rank, tag, op="allreduce", value=value, combine=combine,
+        root=root, size_bytes=size_bytes, send_opts=send_opts,
+    )
+    return result
+
+
+def allgather(cluster, rank: int, value: Any, tag: Any, *,
+              root: int = COLLECTIVE_ROOT, size_bytes: int = 64, **send_opts):
+    """Gather each live rank's ``value``; every rank receives the full
+    rank-ordered tuple of (rank, value) pairs."""
+    def combine(contribs: Dict[int, Any]) -> tuple:
+        return tuple((r, contribs[r]) for r in sorted(contribs))
+
+    result = yield from _gather_broadcast(
+        cluster, rank, tag, op="allgather", value=value, combine=combine,
+        root=root, size_bytes=size_bytes, send_opts=send_opts,
+    )
+    return result

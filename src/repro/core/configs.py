@@ -53,12 +53,13 @@ LOGIN_VM_NAME = "login"
 
 
 def _machine(soc: SoCConfig, seed: int, trial: int, params: Optional[CostParams],
-             trace_categories) -> Machine:
+             trace_categories, engine=None) -> Machine:
     return Machine(
         soc,
         rng=RngHub(seed, trial=trial),
         tracer=Tracer(trace_categories),
         params=params,
+        engine=engine,
     )
 
 
@@ -69,9 +70,10 @@ def build_native_node(
     trial: int = 0,
     params: Optional[CostParams] = None,
     trace_categories=None,
+    engine=None,
 ) -> Node:
     """Bare-metal Kitten (the paper's baseline)."""
-    machine = _machine(soc, seed, trial, params, trace_categories)
+    machine = _machine(soc, seed, trial, params, trace_categories, engine=engine)
     boot = BootChain(machine)
     boot.run()
     kernel = KittenKernel(machine, "kitten-native", role=ROLE_NATIVE)
@@ -99,6 +101,7 @@ def build_hafnium_node(
     primary_tick_hz: Optional[float] = None,
     noise_specs=None,
     trace_categories=None,
+    engine=None,
 ) -> Node:
     """A Hafnium node with the chosen primary scheduler VM.
 
@@ -109,7 +112,7 @@ def build_hafnium_node(
     """
     if scheduler not in ("kitten", "linux"):
         raise ConfigurationError(f"unknown scheduler {scheduler!r}")
-    machine = _machine(soc, seed, trial, params, trace_categories)
+    machine = _machine(soc, seed, trial, params, trace_categories, engine=engine)
     boot = BootChain(machine)
 
     def kitten_guest_factory(mach, spec, role):

@@ -133,6 +133,10 @@ def _determinism_run(config, seed, run=0):
         from repro.faults.campaign import run_smoke
 
         return run_smoke(seed)
+    if config == "cluster-smoke":
+        from repro.cluster.campaign import run_cluster_smoke
+
+        return run_cluster_smoke(seed)
     from repro.analysis.determinism import run_quickstart
 
     return run_quickstart(config, seed)
@@ -174,3 +178,16 @@ def _randomized_faults(config, seed, count, trial=0):
     from repro.faults.campaign import run_randomized
 
     return run_randomized(config, seed=seed, count=count, trial=trial)
+
+
+@handler("cluster-run")
+def _cluster_run(config, nodes, seed, trial=0, supersteps=6,
+                 step_compute_s=0.002, fail_rank=None, fail_at_ms=None):
+    """One (config, node-count, seed) cell of the cluster scaling sweep."""
+    from repro.cluster.campaign import run_cluster
+
+    return run_cluster(
+        config, nodes, seed,
+        trial=trial, supersteps=supersteps, step_compute_s=step_compute_s,
+        fail_rank=fail_rank, fail_at_ms=fail_at_ms,
+    )

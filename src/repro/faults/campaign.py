@@ -549,6 +549,31 @@ def run_randomized(
         else []
     )
     jobs_done = sum(1 for name in submitted if completed.get(name))
+
+    # MTTF / availability over the observation span [t0, horizon).
+    # "Failure" means a *detected* VM failure (watchdog declaration);
+    # downtime per failure runs detection -> recovery, and a degraded VM
+    # stays down through the end of the horizon. Availability is averaged
+    # over the tenant VMs the watchdog covers (victim + bystander).
+    span_ps = engine.now - t0
+    if watchdog is None:
+        mttf_ms = None
+        availability = None
+        downtime_ms = None
+    else:
+        n_tenants = 2 if node.spm is not None else 1
+        downtime_ps = sum(e["recovery_time_ps"] for e in restart_events)
+        for e in recovery.events:
+            if e["action"] == "degrade":
+                downtime_ps += engine.now - e["degraded_at_ps"]
+        mttf_ms = (
+            round(span_ps / detections / 1e9, 3) if detections else None
+        )
+        availability = round(
+            max(0.0, 1.0 - downtime_ps / (n_tenants * span_ps)), 6
+        )
+        downtime_ms = round(downtime_ps / 1e9, 3)
+
     return {
         "config": config,
         "seed": seed,
@@ -561,6 +586,10 @@ def run_randomized(
         "jobs_total": len(submitted),
         "jobs_completed": jobs_done,
         "job_survival_rate": (jobs_done / len(submitted)) if submitted else 1.0,
+        "span_ms": round(span_ps / 1e9, 3),
+        "mttf_ms": mttf_ms,
+        "downtime_ms": downtime_ms,
+        "availability": availability,
         "end_ps": engine.now,
         "digest": _full_digest(node),
     }
@@ -592,6 +621,16 @@ def run_randomized_campaign(
     survival = [r["job_survival_rate"] for r in runs]
     detections = sum(r["detections"] for r in runs)
     faults = sum(r["faults_injected"] for r in runs)
+    # Pooled MTTF: total observed time over total detected failures —
+    # the per-run estimator is undefined for zero-failure runs, pooling
+    # uses their observation time anyway.
+    span_total_ms = sum(r["span_ms"] for r in runs if r["span_ms"] is not None)
+    availabilities = [
+        r["availability"] for r in runs if r["availability"] is not None
+    ]
+    downtime_total_ms = sum(
+        r["downtime_ms"] for r in runs if r["downtime_ms"] is not None
+    )
     return {
         "config": config,
         "seed": seed,
@@ -606,6 +645,18 @@ def run_randomized_campaign(
             "detections": detections,
             "detection_rate": (detections / faults) if faults else 0.0,
             "restarts": sum(r["restarts"] for r in runs),
+            "mttf_ms": (
+                round(span_total_ms / detections, 3) if detections else None
+            ),
+            "downtime_ms": round(downtime_total_ms, 3),
+            "availability_mean": (
+                round(sum(availabilities) / len(availabilities), 6)
+                if availabilities
+                else None
+            ),
+            "availability_min": (
+                round(min(availabilities), 6) if availabilities else None
+            ),
         },
     }
 

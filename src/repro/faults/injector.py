@@ -27,6 +27,9 @@ mailbox-storm       a rogue guest thread floods the primary's mailbox;
                     single-slot BUSY flow control absorbs it.
 attestation-tamper  corrupts the stored VM image so restart-time signature
                     verification fails (recovery degrades gracefully).
+node-failure        ``Cluster.fail(rank)`` — host-kernel panic freezes the
+                    whole rank and the fabric partitions it (death notices
+                    to survivors). Requires a cluster-wired node.
 ==================  ========================================================
 
 Every random choice (addresses, bits) draws from dedicated ``faults.*``
@@ -284,6 +287,27 @@ class FaultInjector:
         )
         kernel.spawn(rogue)
         return {"count": count, "dest_vm_id": dest}
+
+    def _do_node_failure(self, spec: FaultSpec) -> Dict[str, Any]:
+        """Kill a whole cluster rank: host-kernel panic plus fabric
+        partition (death notices to surviving ranks). Only meaningful on
+        a node wired into a :class:`repro.cluster.node.Cluster`."""
+        cluster = getattr(self.node, "cluster", None)
+        if cluster is None:
+            raise ConfigurationError(
+                "node-failure targets a cluster rank, but this node is not "
+                "part of a repro.cluster Cluster"
+            )
+        rank = int(spec.param("rank", 1))
+        reason = str(spec.param("reason", "injected node failure"))
+        cluster.fail(rank, reason=reason)
+        # Wake the dead rank's idle host CPUs so the panic is reaped (and
+        # its threads freeze) at the very next dispatch boundary.
+        cnode = cluster.nodes[rank].node
+        host = cnode.kernels.get("native") or cnode.kernels.get("primary")
+        if host is not None:
+            self._wake_idle_slots(host)
+        return {"rank": rank, "reason": reason}
 
     def _do_attestation_tamper(self, spec: FaultSpec) -> Dict[str, Any]:
         recovery = getattr(self.node, "recovery", None)

@@ -31,6 +31,7 @@ FAULT_KINDS = (
     "vm-panic",            # the target VM's kernel panics
     "mailbox-storm",       # a rogue guest floods the primary's mailbox
     "attestation-tamper",  # the stored VM image is corrupted (restart-time check)
+    "node-failure",        # a whole cluster rank dies (host panic + fabric partition)
 )
 
 #: The named single-fault scenarios ``repro faults`` sweeps; each maps to
@@ -134,6 +135,8 @@ class FaultPlan:
             defaults = {"count": 40, "size_bytes": 64}
         elif name == "mem-bit-flip":
             defaults = {"correctable": False}
+        elif name == "node-failure":
+            defaults = {"rank": 1}
         defaults.update(overrides)
         return FaultPlan.single(SCENARIO_KINDS[name], target, at_ps, **defaults)
 

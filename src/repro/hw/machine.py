@@ -33,9 +33,13 @@ class Machine:
         rng: Optional[RngHub] = None,
         tracer: Optional[Tracer] = None,
         params: Optional[CostParams] = None,
+        engine: Optional[Engine] = None,
     ):
         self.soc = soc
-        self.engine = Engine()
+        # A multi-node cluster (repro.cluster) passes one shared engine so
+        # every machine lives on the same simulated clock; a standalone
+        # node owns a private one.
+        self.engine = engine if engine is not None else Engine()
         self.tracer = tracer if tracer is not None else Tracer()
         self.rng = rng if rng is not None else RngHub()
         self.perf = PerfModel(soc, params)
@@ -60,9 +64,12 @@ class Machine:
             self.devices["uart0"] = Uart(self.engine, self.gic, spi=32)
         # Runtime sanitizer (REPRO_SANITIZE=1 or `repro --sanitize ...`):
         # wraps the engine with monotonic-clock/queue/reentrancy checks.
+        # A shared cluster engine is wrapped once, by its first machine.
         from repro.analysis.invariants import attach_if_enabled
 
-        self.sanitizer = attach_if_enabled(self.engine)
+        self.sanitizer = getattr(self.engine, "sanitizer", None)
+        if self.sanitizer is None:
+            self.sanitizer = attach_if_enabled(self.engine)
 
     def add_device(self, device: Device) -> None:
         self.devices[device.name] = device

@@ -86,7 +86,10 @@ def test_cli_check_determinism_clean_error_on_bad_args(capsys):
 def test_all_sweep_covers_configs_and_fault_scenario():
     result = check_determinism(config="all", seed=123, runs=2)
     assert result["identical"]
-    expected = {"native", "hafnium-kitten", "hafnium-linux", "faults-smoke"}
+    expected = {
+        "native", "hafnium-kitten", "hafnium-linux",
+        "faults-smoke", "cluster-smoke",
+    }
     assert set(result["sweep"]) == expected
     for entry in result["sweep"].values():
         assert entry["identical"]

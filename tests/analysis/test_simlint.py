@@ -29,6 +29,7 @@ def test_registry_has_the_documented_rules():
         "unordered-iter",
         "mutable-default-arg",
         "engine-now-write",
+        "trace-payload-hygiene",
     }
     assert all(r.description for r in all_rules())
 

@@ -1,0 +1,75 @@
+"""The trace-payload-hygiene simlint rule."""
+
+from repro.analysis.simlint import lint_source
+
+
+def hits(source):
+    return [
+        d for d in lint_source(source) if d.rule == "trace-payload-hygiene"
+    ]
+
+
+def test_set_payloads_flagged():
+    src = (
+        "m.trace('irq', 'cpu0', pending={1, 2}, mask={c for c in cpus})\n"
+    )
+    found = hits(src)
+    assert len(found) == 2
+    assert "pending=" in found[0].message
+    assert "hash order" in found[0].message
+
+
+def test_address_bearing_payloads_flagged():
+    src = (
+        "tracer.emit(t, 'sched', 'n0', gen=(x for x in xs), "
+        "fn=lambda: 1, ident=id(task), obj=object())\n"
+    )
+    assert len(hits(src)) == 4
+
+
+def test_unstable_constructor_calls_flagged():
+    src = "node.machine.trace('mm', 'heap', live=set(pages), it=iter(pages))\n"
+    found = hits(src)
+    assert len(found) == 2
+    assert "`set()`" in found[0].message
+
+
+def test_primitive_and_ordered_payloads_clean():
+    src = (
+        "m.trace('irq', 'cpu0', count=3, name='tick', ok=True,\n"
+        "        pages=sorted(pages), pair=(a, b), items=list(xs))\n"
+    )
+    assert hits(src) == []
+
+
+def test_insufficient_positional_args_ignored():
+    # Machine.trace takes (category, subject) positionally; a one-arg
+    # call with keywords is some other API, not a trace emission.
+    src = "m.trace('irq', pending={1, 2})\nm.emit(t, 'x', bad={1})\n"
+    assert hits(src) == []
+
+
+def test_bare_function_calls_ignored():
+    src = "trace('irq', 'cpu0', pending={1, 2})\n"
+    assert hits(src) == []
+
+
+def test_star_star_passthrough_ignored():
+    src = "m.trace('irq', 'cpu0', **data)\n"
+    assert hits(src) == []
+
+
+def test_inline_suppression():
+    src = (
+        "m.trace('irq', 'cpu0', pending={1, 2})"
+        "  # simlint: disable=trace-payload-hygiene\n"
+    )
+    assert hits(src) == []
+
+
+def test_repo_sources_are_clean():
+    from repro.analysis.simlint import all_rules, lint_paths
+
+    rule = [r for r in all_rules() if r.name == "trace-payload-hygiene"]
+    assert len(rule) == 1
+    assert lint_paths(["src/repro"], rules=rule) == []

@@ -1,0 +1,144 @@
+"""Collective primitives: correctness, failure semantics, determinism."""
+
+from repro.cluster.collectives import allgather, allreduce, barrier
+from repro.cluster.node import Cluster
+from repro.kernels.thread import Thread
+
+SEED = 20260806
+
+
+def _run_collectives(size, seed=SEED, fail_rank=None, fail_at_ps=None):
+    """Drive one barrier + allreduce + allgather per rank; returns
+    (cluster, results-by-rank)."""
+    cluster = Cluster("native", size, seed=seed)
+    results = {}
+
+    def proxy(rank):
+        def body():
+            b = yield from barrier(cluster, rank, tag="b0")
+            ar = yield from allreduce(cluster, rank, float(rank + 1), tag="ar0")
+            ag = yield from allgather(cluster, rank, rank * 10, tag="ag0")
+            results[rank] = {"barrier": b, "allreduce": ar, "allgather": ag}
+
+        return Thread(f"coll.n{rank}", body(), cpu=0, aspace="coll")
+
+    threads = []
+    for cnode in cluster.nodes:
+        t = proxy(cnode.rank)
+        t.cluster_rank = cnode.rank
+        cnode.node.spawn_workload_threads([t])
+        threads.append(t)
+    if fail_rank is not None:
+        cluster.engine.schedule_at(
+            cluster.engine.now + fail_at_ps, cluster.fail, fail_rank
+        )
+    cluster.run(threads, max_seconds=10.0)
+    return cluster, results
+
+
+def test_collectives_compute_correct_values():
+    size = 3
+    cluster, results = _run_collectives(size)
+    assert sorted(results) == [0, 1, 2]
+    for rank in range(size):
+        r = results[rank]
+        assert r["barrier"]["ok"]
+        assert r["allreduce"]["ok"]
+        # Deterministic rank-order sum: 1 + 2 + 3.
+        assert r["allreduce"]["value"] == 6.0
+        assert r["allgather"]["value"] == ((0, 0), (1, 10), (2, 20))
+    # No rank passes the barrier before the last arrival reaches the root.
+    arrive_times = [results[r]["barrier"]["t_ps"] for r in range(size)]
+    assert min(arrive_times) > 0
+    # Completion order lands in the cluster's collective log (one entry
+    # per op per rank) with monotonically consistent timestamps.
+    ops = [entry[0] for entry in cluster.collective_log]
+    assert ops.count("barrier") == size
+    assert ops.count("allreduce") == size
+    assert ops.count("allgather") == size
+
+
+def test_collective_completion_times_are_replay_stable():
+    cluster_a, res_a = _run_collectives(3)
+    cluster_b, res_b = _run_collectives(3)
+    assert res_a == res_b
+    assert cluster_a.collective_log == cluster_b.collective_log
+    assert cluster_a.digest() == cluster_b.digest()
+
+
+def test_non_root_failure_reforms_membership():
+    size = 4
+    # Kill rank 2 shortly after the run starts (1 us, well before the
+    # first barrier completes at ~7 us): survivors must complete every
+    # collective with membership re-evaluated, no deadlock.
+    cluster, results = _run_collectives(
+        size, fail_rank=2, fail_at_ps=1_000_000
+    )
+    assert cluster.failed == [2]
+    assert sorted(results) == [0, 1, 3]
+    for rank in (0, 1, 3):
+        assert results[rank]["allreduce"]["ok"]
+        # Rank 2's contribution (3.0) is gone: 1 + 2 + 4.
+        assert results[rank]["allreduce"]["value"] == 7.0
+        assert results[rank]["allgather"]["value"] == ((0, 0), (1, 10), (3, 30))
+
+
+def test_root_failure_aborts_cleanly_without_deadlock():
+    size = 3
+    cluster, results = _run_collectives(
+        size, fail_rank=0, fail_at_ps=1_000_000
+    )
+    assert cluster.failed == [0]
+    # Survivors observed the root's death and errored out of whichever
+    # collective they were in — nobody hangs, nobody succeeds.
+    assert sorted(results) == [1, 2]
+    for rank in (1, 2):
+        r = results[rank]
+        failed_ops = [
+            op for op in ("barrier", "allreduce", "allgather")
+            if not r[op]["ok"]
+        ]
+        assert failed_ops, f"rank {rank} should have seen a failed collective"
+        assert all(
+            r[op]["error"] in ("root-failed", "peer-dead") for op in failed_ops
+        )
+
+
+def test_collectives_identical_with_and_without_observer_jobs():
+    """Same (config, seed) cluster cells are bit-identical when fanned
+    over the parallel runner at different --jobs levels (satellite:
+    barrier/allreduce completion times under --jobs 1 vs --jobs 4)."""
+    from repro.cluster.campaign import run_scaling
+
+    kwargs = dict(
+        configs=["native"],
+        node_counts=[2, 3],
+        seed=SEED,
+        supersteps=2,
+        step_compute_s=0.0005,
+    )
+    serial = run_scaling(jobs=1, **kwargs)
+    parallel = run_scaling(jobs=4, **kwargs)
+    assert serial == parallel
+
+
+def test_collectives_identical_across_jobs_under_node_failure():
+    from repro.cluster.campaign import run_scaling
+
+    kwargs = dict(
+        configs=["native"],
+        node_counts=[3],
+        seed=SEED,
+        supersteps=3,
+        step_compute_s=0.0005,
+        fail_rank=1,
+        fail_at_ms=0.7,
+    )
+    serial = run_scaling(jobs=1, **kwargs)
+    parallel = run_scaling(jobs=4, **kwargs)
+    assert serial == parallel
+    cell = serial["cells"]["native@3"]
+    assert cell["failed_ranks"] == [1]
+    assert cell["fault_injections"] == 1
+    # Survivors finished every superstep despite the dead rank.
+    assert cell["completed_steps"] == 3

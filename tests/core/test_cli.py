@@ -22,6 +22,7 @@ def test_parser_has_all_commands():
         "check-determinism",
         "faults",
         "bench",
+        "cluster",
     }
 
 

@@ -88,6 +88,56 @@ class TestContainment:
         assert r["victim_trace_changed"]
 
 
+class TestAvailabilityMetrics:
+    def test_randomized_run_reports_mttf_and_availability(self):
+        from repro.faults.campaign import run_randomized
+
+        r = run_randomized("hafnium-kitten", seed=SEED, count=2)
+        assert r["span_ms"] > 0
+        if r["detections"]:
+            assert r["mttf_ms"] is not None
+            assert r["mttf_ms"] > 0
+            # MTTF is span over detections, so it can't exceed the span.
+            assert r["mttf_ms"] <= r["span_ms"]
+        else:
+            assert r["mttf_ms"] is None
+        assert r["downtime_ms"] is not None and r["downtime_ms"] >= 0
+        assert r["availability"] is not None
+        assert 0.0 <= r["availability"] <= 1.0
+
+    def test_native_run_has_no_watchdog_so_no_availability(self):
+        from repro.faults.campaign import run_randomized
+
+        r = run_randomized("native", seed=SEED, count=1)
+        assert r["mttf_ms"] is None
+        assert r["availability"] is None
+        assert r["downtime_ms"] is None
+
+    def test_campaign_aggregate_pools_mttf(self):
+        from repro.faults.campaign import run_randomized_campaign
+
+        rep = run_randomized_campaign(
+            config="hafnium-kitten", seed=SEED, campaigns=2, count=2
+        )
+        agg = rep["aggregate"]
+        runs = list(rep["runs"].values())
+        total_detections = sum(r["detections"] for r in runs)
+        if total_detections:
+            expected = round(
+                sum(r["span_ms"] for r in runs) / total_detections, 3
+            )
+            assert agg["mttf_ms"] == expected
+        else:
+            assert agg["mttf_ms"] is None
+        avails = [
+            r["availability"] for r in runs if r["availability"] is not None
+        ]
+        assert agg["availability_min"] == round(min(avails), 6)
+        assert agg["availability_mean"] == round(
+            sum(avails) / len(avails), 6
+        )
+
+
 class TestReplayDeterminism:
     def test_smoke_digest_stable(self):
         a = run_smoke(seed=SEED)
