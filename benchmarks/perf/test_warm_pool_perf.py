@@ -1,0 +1,52 @@
+"""Warm pool vs fork-per-call pool, as a benchmark suite.
+
+Results are bit-identical across all paths (asserted in
+``tests/exec/test_warm_pool.py``); here we only time the repeated-
+dispatch pattern every campaign sweep issues.
+"""
+
+import os
+
+import pytest
+
+from repro.exec.jobs import SimJob
+from repro.exec.runner import ParallelRunner
+from repro.exec.warm import shutdown_warm_pools
+
+SEED = 5
+DISPATCHES = 3
+
+
+def _cells():
+    return [
+        SimJob.make(
+            "irq-latency", routing=routing, seed=seed, duration_s=0.01
+        )
+        for routing in ("forwarded", "direct")
+        for seed in (SEED, SEED + 1)
+    ]
+
+
+def _sweep(warm: bool) -> None:
+    runner = ParallelRunner(2, warm=warm)
+    for _ in range(DISPATCHES):
+        runner.run(_cells())
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pools():
+    shutdown_warm_pools()
+    yield
+    shutdown_warm_pools()
+
+
+def test_fork_per_call_dispatches(benchmark):
+    if (os.cpu_count() or 1) == 1:
+        pytest.skip("single-core host: pool timing is all contention")
+    benchmark.pedantic(lambda: _sweep(warm=False), rounds=1, iterations=1)
+
+
+def test_warm_pool_dispatches(benchmark):
+    if (os.cpu_count() or 1) == 1:
+        pytest.skip("single-core host: pool timing is all contention")
+    benchmark.pedantic(lambda: _sweep(warm=True), rounds=1, iterations=1)

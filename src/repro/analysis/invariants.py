@@ -12,10 +12,14 @@ scheduling operation and every fired event:
 * ``Engine.step`` is never re-entered from inside an event callback
   (models must schedule follow-up work, not recursively drain the queue).
 
-The checker monkey-wraps the engine's ``step``/``schedule_at`` bound
-methods so the engine itself stays branch-free on the hot path when the
-sanitizer is off. Enable it per-process with ``REPRO_SANITIZE=1`` or the
-CLI's ``--sanitize`` flag (see ``repro.hw.machine``).
+The checker monkey-wraps the engine's ``step``/``schedule``/
+``schedule_at`` bound methods so the engine itself stays branch-free on
+the hot path when the sanitizer is off (``Engine.run`` and
+``Engine.schedule`` are fully inlined fast paths; the engine detects the
+instance-level ``step`` shadow and falls back to per-event dispatch, and
+``schedule`` is shadowed here directly). Enable it per-process with
+``REPRO_SANITIZE=1`` or the CLI's ``--sanitize`` flag (see
+``repro.hw.machine``).
 """
 
 from __future__ import annotations
@@ -43,9 +47,11 @@ class InvariantChecker:
         self._last_time = engine.now
         self._in_step = False
         self._orig_step: Callable[[], bool] = engine.step
+        self._orig_schedule = engine.schedule
         self._orig_schedule_at = engine.schedule_at
         # Shadow the bound methods on the instance.
         engine.step = self._checked_step  # type: ignore[method-assign]
+        engine.schedule = self._checked_schedule  # type: ignore[method-assign]
         engine.schedule_at = self._checked_schedule_at  # type: ignore[method-assign]
         engine.sanitizer = self  # type: ignore[attr-defined]
 
@@ -74,6 +80,21 @@ class InvariantChecker:
                 f"({qlen} > {self.max_queue}); likely a runaway scheduling loop"
             )
         return ev
+
+    def _checked_schedule(
+        self, delay: int, fn: Callable, *args: Any, priority: int = PRIO_DEFAULT
+    ) -> Event:
+        # ``Engine.schedule`` no longer routes through ``schedule_at`` (it
+        # inlines the push), so the relative entry point needs its own
+        # shadow. Reuse the engine's own error message for the past check,
+        # then funnel through the absolute-time wrapper for the non-int
+        # timestamp and queue-watermark checks.
+        self.checks += 1
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._checked_schedule_at(
+            self.engine.now + delay, fn, *args, priority=priority
+        )
 
     def _checked_step(self) -> bool:
         self.checks += 1
@@ -109,6 +130,7 @@ class InvariantChecker:
     def detach(self) -> None:
         """Restore the engine's unwrapped methods."""
         self.engine.step = self._orig_step  # type: ignore[method-assign]
+        self.engine.schedule = self._orig_schedule  # type: ignore[method-assign]
         self.engine.schedule_at = self._orig_schedule_at  # type: ignore[method-assign]
         if getattr(self.engine, "sanitizer", None) is self:
             self.engine.sanitizer = None  # type: ignore[attr-defined]

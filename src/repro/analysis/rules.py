@@ -16,6 +16,7 @@ Suppression syntax (documented in README):
 
 from __future__ import annotations
 
+import ast
 import re
 from dataclasses import dataclass
 from enum import Enum
@@ -110,6 +111,106 @@ def rule_names() -> List[str]:
 _SUPPRESS_RE = re.compile(
     r"#\s*simlint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
 )
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+@register
+class DictIterationOrderRule(Rule):
+    """Dicts keyed by ``id(obj)`` iterate in *allocation* order: two runs
+    of the same simulation can interleave allocations differently (pool
+    reuse, GC timing), so any iteration order leaking into model state or
+    traces breaks replay. Keys must be sorted — or better, keyed by a
+    stable identity (rank, seq, name) instead of an address."""
+
+    name = "dict-iteration-order"
+    severity = Severity.ERROR
+    description = (
+        "iterating a dict keyed by object id() without sorting makes "
+        "order depend on allocation addresses; sort keys or use a stable "
+        "identity"
+    )
+
+    def _id_keyed(self, scope: ast.AST) -> Set[str]:
+        """Names (``d`` or ``self.d``, recorded as ``d``/``self.d``) that
+        are ever subscript-assigned with an ``id(...)`` key in scope."""
+        names: Set[str] = set()
+        for node in ast.walk(scope):
+            sub = None
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        sub = target
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)) and isinstance(
+                node.target, ast.Subscript
+            ):
+                sub = node.target
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "setdefault"
+                and node.args
+                and _is_id_call(node.args[0])
+            ):
+                names.add(self._name_of(node.func.value) or "")
+                continue
+            if sub is None or not _is_id_call(sub.slice):
+                continue
+            name = self._name_of(sub.value)
+            if name:
+                names.add(name)
+        names.discard("")
+        return names
+
+    @staticmethod
+    def _name_of(node: ast.AST) -> str:
+        if isinstance(node, ast.Name):
+            return node.id
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+        ):
+            return f"{node.value.id}.{node.attr}"
+        return ""
+
+    def _iter_exprs(self, scope: ast.AST) -> Iterator[ast.AST]:
+        for node in ast.walk(scope):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield node.iter
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for gen in node.generators:
+                    yield gen.iter
+
+    def check(self, ctx: "LintContext") -> Iterator[Diagnostic]:
+        id_keyed = self._id_keyed(ctx.tree)
+        if not id_keyed:
+            return
+        for it in self._iter_exprs(ctx.tree):
+            # `for k in d.items()/.keys()/.values()` — unwrap the view call.
+            target = it
+            if (
+                isinstance(it, ast.Call)
+                and isinstance(it.func, ast.Attribute)
+                and it.func.attr in ("items", "keys", "values")
+            ):
+                target = it.func.value
+            name = self._name_of(target)
+            if name in id_keyed:
+                yield ctx.diag(
+                    self,
+                    it,
+                    f"iteration over `{name}`, a dict keyed by object id(); "
+                    "id() order follows allocation addresses — iterate "
+                    "sorted(...) or key by a stable identity",
+                )
 
 
 class Suppressions:

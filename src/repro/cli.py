@@ -345,6 +345,7 @@ def _cmd_cluster(args) -> int:
             step_compute_s=args.step_ms / 1000.0,
             fail_rank=args.fail_rank,
             fail_at_ms=args.fail_at_ms,
+            collective_algo=args.collective_algo,
         )
     except (ConfigurationError, ValueError) as exc:
         print(f"repro cluster: {exc}", file=sys.stderr)
@@ -383,12 +384,37 @@ def _cmd_cluster(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.exec.bench import run_bench, summarize_bench, write_bench
+    from repro.exec.bench import (
+        compare_bench,
+        load_bench,
+        run_bench,
+        summarize_bench,
+        write_bench,
+    )
 
+    baseline = None
+    if args.compare:
+        try:
+            baseline = load_bench(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"repro bench: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
     results = run_bench(quick=args.quick, jobs=_jobs(args))
     path = write_bench(results, args.output or None)
     print(f"wrote {path}")
     print(summarize_bench(results))
+    if baseline is not None:
+        report, regressions = compare_bench(
+            results, baseline, regress_pct=args.regress_pct
+        )
+        print(report)
+        if regressions:
+            print(
+                f"bench: {len(regressions)} metric(s) regressed more than "
+                f"{args.regress_pct:g}% vs {args.compare}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -536,6 +562,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-at-ms", type=float, default=None,
         help="when to kill it (simulated ms after start; default 1.0)",
     )
+    p.add_argument(
+        "--collective-algo", choices=("linear", "tree"), default="tree",
+        help="allreduce/barrier implementation: binomial tree (default) or "
+        "the O(N)-at-the-root linear baseline",
+    )
     p.add_argument("--output", "-o", type=str, default="")
     _add_jobs_flag(p)
     p.set_defaults(fn=_cmd_cluster)
@@ -548,6 +579,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quick", action="store_true",
         help="CI mode: smaller event counts, fig7/8 instead of the campaign",
+    )
+    p.add_argument(
+        "--compare", type=str, default="",
+        help="baseline BENCH_<date>.json to diff against; prints per-metric "
+        "speedups and exits 1 past --regress-pct",
+    )
+    p.add_argument(
+        "--regress-pct", type=float, default=25.0,
+        help="regression threshold for --compare, in percent (default 25)",
     )
     p.add_argument("--output", "-o", type=str, default="")
     _add_jobs_flag(p)

@@ -44,14 +44,19 @@ def run_cluster(
     fail_rank: Optional[int] = None,
     fail_at_ms: Optional[float] = None,
     max_seconds: float = 120.0,
+    collective_algo: str = "tree",
 ) -> Dict[str, Any]:
     """Run one BSP scaling cell; returns a picklable, digestable report.
 
     With ``fail_rank``/``fail_at_ms`` set, a ``node-failure`` fault is
     armed through the PR-2 fault framework so cluster campaigns compose
-    with the resilience machinery.
+    with the resilience machinery. ``collective_algo`` selects the
+    allreduce implementation (binomial ``tree`` by default, ``linear``
+    for the O(N)-at-the-root baseline).
     """
-    cluster = Cluster(config, nodes, seed=seed, trial=trial)
+    cluster = Cluster(
+        config, nodes, seed=seed, trial=trial, collective_algo=collective_algo
+    )
     workload = BspClusterWorkload(
         cluster,
         supersteps=supersteps,
@@ -117,7 +122,10 @@ def run_cluster(
         "failed_ranks": list(cluster.failed),
         "aborted_ranks": sorted(workload.aborted),
         "fault_injections": len(injections),
+        "collective_algo": collective_algo,
         "fabric": cluster.fabric.stats(),
+        # The collective root's ingress port: the O(N) vs O(log N) hotspot.
+        "root_port": cluster.fabric.port_stats(0),
         "digest": cluster.digest(),
     }
 
@@ -132,6 +140,7 @@ def run_scaling(
     step_compute_s: float = DEFAULT_STEP_COMPUTE_S,
     fail_rank: Optional[int] = None,
     fail_at_ms: Optional[float] = None,
+    collective_algo: str = "tree",
 ) -> Dict[str, Any]:
     """Sweep (config x node_count) cells over the parallel runner and
     derive the slowdown / amplification table."""
@@ -152,6 +161,7 @@ def run_scaling(
             step_compute_s=step_compute_s,
             fail_rank=fail_rank,
             fail_at_ms=fail_at_ms,
+            collective_algo=collective_algo,
         )
         for config in configs
         for n in counts
@@ -185,6 +195,10 @@ def run_scaling(
                     round(cell["mean_step_ms"] / base, 4) if base > 0 else None
                 ),
                 "failed_ranks": cell["failed_ranks"],
+                "root_port_messages": cell["root_port"]["messages"],
+                "root_port_busy_ms": round(
+                    to_ms(cell["root_port"]["busy_ps"]), 6
+                ),
             }
             rows.append(row)
     return {
@@ -193,6 +207,7 @@ def run_scaling(
         "step_compute_s": step_compute_s,
         "node_counts": counts,
         "configs": configs,
+        "collective_algo": collective_algo,
         "cells": cells,
         "rows": rows,
     }

@@ -12,16 +12,39 @@ BUSY from a saturated ingress port backs off exponentially
 (``base_backoff_ps << attempt``) up to ``max_attempts``; a non-busy
 failure (dead peer) breaks out immediately.
 
-The collectives are flat trees rooted at rank 0, tolerant of node
-failure: in-band ``death`` notices wake blocked participants, gather
-membership is re-evaluated against the live set, and a dead root makes
-the collective return ``{"ok": False, "error": "root-failed"}`` rather
-than deadlock.
+Two collective algorithms share one calling convention, selected by
+``cluster.collective_algo``:
+
+* ``linear`` — the original flat gather rooted at rank 0: every rank
+  sends its contribution straight to the root, which reduces and sends
+  every result back. Simple, but the root's ingress port serializes
+  O(N) messages per collective.
+* ``tree`` (default) — a binomial tree: each rank merges its subtree's
+  *coverage* (a rank-keyed contribution dict) and forwards one message
+  to its parent, so the root port handles O(log N) messages. The
+  reduction itself still happens only at the root, over the same
+  rank-sorted contribution dict the linear algorithm builds — so the
+  two algorithms produce float-for-float identical values.
+
+Both are tolerant of node failure: in-band ``death`` notices wake
+blocked participants, gather membership is re-evaluated against the
+live set, and a dead root makes the collective return
+``{"ok": False, "error": "root-failed"}`` rather than deadlock. The
+tree additionally repairs around interior deaths: orphaned subtrees
+re-send their coverage to the nearest live ancestor (the binomial
+parent chain guarantees the orphan's ancestor path passes through the
+dead parent's own parent), and each rank keeps a small memory of
+recently completed collectives so a straggler's duplicate coverage is
+answered with the stored result instead of being lost. Remaining
+limitation: an orphan whose repair lands on a rank that has already
+finished its *entire* workload (nothing left to service the request)
+will hang until the cluster deadline — only reachable when a rank dies
+inside the final collective of a run.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.cluster.fabric import MSG_DEATH, NetMessage
 from repro.hafnium.mailbox import RETRY_BASE_BACKOFF_PS, RETRY_MAX_ATTEMPTS
@@ -155,10 +178,224 @@ def _gather_broadcast(
                     "error": "root-failed"}
 
 
+# ---------------------------------------------------------------------------
+# Binomial tree algorithm
+# ---------------------------------------------------------------------------
+
+#: Completed (tag -> result) entries each rank remembers for straggler
+#: servicing; oldest evicted beyond this.
+COLLECTIVE_MEMORY = 16
+
+
+def tree_parent(v: int) -> int:
+    """Binomial-tree parent of virtual rank ``v`` (> 0): clear the lowest
+    set bit."""
+    return v & (v - 1)
+
+
+def tree_children(v: int, size: int) -> List[int]:
+    """Binomial-tree children of virtual rank ``v``: ``v + 2**k`` for
+    every ``2**k`` below ``v``'s lowest set bit (any power for the root),
+    clipped to the cluster."""
+    span = (v & -v) if v else size
+    out: List[int] = []
+    k = 1
+    while k < span and v + k < size:
+        out.append(v + k)
+        k <<= 1
+    return out
+
+
+def tree_subtree(v: int, size: int) -> range:
+    """Virtual ranks covered by ``v``'s subtree: the contiguous block
+    ``[v, v + lowbit(v))`` (the whole cluster for the root)."""
+    span = (v & -v) if v else size
+    return range(v, min(v + span, size))
+
+
+def _tree_gather_broadcast(
+    cluster,
+    rank: int,
+    tag: Any,
+    *,
+    op: str,
+    value: Any,
+    combine: Callable[[Dict[int, Any]], Any],
+    root: int = COLLECTIVE_ROOT,
+    size_bytes: int = 64,
+    send_opts: Optional[Dict[str, Any]] = None,
+):
+    """Binomial-tree gather + broadcast (see the module docstring).
+
+    Gather moves *coverage dicts* — ``{actual rank: contribution}`` for
+    everything a subtree has heard from — up the tree; the reduction is
+    applied once, at the root, over the live ranks in sorted order, which
+    is exactly the linear algorithm's arithmetic. Results flow back down
+    along the edges that actually carried coverage.
+    """
+    opts = dict(send_opts or {})
+    engine = cluster.engine
+    size = cluster.size
+    memory = cluster.collective_memory[rank]
+    if not cluster.alive(root):
+        return {"ok": False, "value": None, "t_ps": engine.now,
+                "error": "root-failed"}
+
+    v = (rank - root) % size
+
+    def actual(u: int) -> int:
+        return (u + root) % size
+
+    def remember(result: Any) -> None:
+        memory[str(tag)] = result
+        while len(memory) > COLLECTIVE_MEMORY:
+            memory.pop(next(iter(memory)))
+
+    def match(msg: NetMessage) -> bool:
+        if msg.kind == MSG_DEATH:
+            return True
+        if msg.tag == tag and msg.kind in ("coverage", "result"):
+            return True
+        # Straggler repair for a collective this rank already finished.
+        return msg.kind == "coverage" and str(msg.tag) in memory
+
+    def service_stale(msg: NetMessage):
+        stored = memory.get(str(msg.tag))
+        if stored is not None:
+            yield from send_message(
+                cluster, rank, msg.src, stored,
+                kind="result", tag=msg.tag, size_bytes=size_bytes, **opts,
+            )
+
+    coverage: Dict[int, Any] = {rank: value}
+    contrib_srcs: List[int] = []
+    my_subtree = tree_subtree(v, size)
+
+    def gather_done() -> bool:
+        return all(
+            actual(u) in coverage or not cluster.alive(actual(u))
+            for u in my_subtree
+        )
+
+    # -- gather: wait until every live member of the subtree is covered --
+    while not gather_done():
+        msg = yield from recv_match(cluster, rank, match)
+        if msg.kind == MSG_DEATH:
+            if not cluster.alive(root):
+                return {"ok": False, "value": None, "t_ps": engine.now,
+                        "error": "root-failed"}
+            continue  # live set shrank; gather_done re-evaluates.
+        if msg.kind == "coverage" and msg.tag == tag:
+            coverage.update(msg.payload)
+            if msg.src not in contrib_srcs:
+                contrib_srcs.append(msg.src)
+        elif msg.kind == "coverage":
+            yield from service_stale(msg)
+        # A stray early "result" for this tag cannot arrive before this
+        # rank has sent coverage up; ignore anything else defensively.
+
+    if v == 0:
+        # Root: reduce in rank-sorted order over the live set — identical
+        # arithmetic to the linear algorithm's combine.
+        result = combine({r: coverage[r] for r in cluster.live_ranks()})
+        remember(result)
+        for dst in contrib_srcs:
+            if not cluster.alive(dst):
+                continue
+            yield from send_message(
+                cluster, root, dst, result,
+                kind="result", tag=tag, size_bytes=size_bytes, **opts,
+            )
+        cluster.record_collective(op, tag, rank)
+        return {"ok": True, "value": result, "t_ps": engine.now, "error": None}
+
+    # -- non-root: forward merged coverage to the nearest live ancestor --
+    def send_up():
+        """Send coverage up; returns (dst, error) — dst None on failure."""
+        w = v
+        while True:
+            w = tree_parent(w)
+            dst = actual(w)
+            if cluster.alive(dst):
+                sent = yield from send_message(
+                    cluster, rank, dst, dict(coverage),
+                    kind="coverage", tag=tag,
+                    size_bytes=size_bytes * len(coverage),
+                    **opts,
+                )
+                if sent["ok"]:
+                    return dst, None
+                if sent["error"] != "peer-dead":
+                    return None, sent["error"]
+                # Ancestor died between the liveness check and the send:
+                # resume the walk from the same point.
+            if w == 0:
+                return None, "root-failed"
+
+    gather_dst, err = yield from send_up()
+    if gather_dst is None:
+        return {"ok": False, "value": None, "t_ps": engine.now, "error": err}
+
+    # -- await the result, repairing around ancestor deaths --
+    while True:
+        msg = yield from recv_match(cluster, rank, match)
+        if msg.kind == MSG_DEATH:
+            if not cluster.alive(root):
+                return {"ok": False, "value": None, "t_ps": engine.now,
+                        "error": "root-failed"}
+            if not cluster.alive(gather_dst):
+                # Orphaned: the ancestor holding our coverage died before
+                # forwarding the result. Re-send to the next live one.
+                gather_dst, err = yield from send_up()
+                if gather_dst is None:
+                    return {"ok": False, "value": None, "t_ps": engine.now,
+                            "error": err}
+            continue
+        if msg.kind == "coverage" and msg.tag == tag:
+            # A child's orphan repaired to us after we sent up: merge and
+            # forward, so the ancestor stops waiting on the orphan.
+            coverage.update(msg.payload)
+            if msg.src not in contrib_srcs:
+                contrib_srcs.append(msg.src)
+            gather_dst, err = yield from send_up()
+            if gather_dst is None:
+                return {"ok": False, "value": None, "t_ps": engine.now,
+                        "error": err}
+            continue
+        if msg.kind == "coverage":
+            yield from service_stale(msg)
+            continue
+        result = msg.payload
+        break
+
+    remember(result)
+    for dst in contrib_srcs:
+        if not cluster.alive(dst):
+            continue
+        yield from send_message(
+            cluster, rank, dst, result,
+            kind="result", tag=tag, size_bytes=size_bytes, **opts,
+        )
+    cluster.record_collective(op, tag, rank)
+    return {"ok": True, "value": result, "t_ps": engine.now, "error": None}
+
+
+def _collective(cluster, rank, tag, *, op, value, combine, root, size_bytes,
+                send_opts):
+    """Dispatch one collective through the cluster's selected algorithm."""
+    algo = getattr(cluster, "collective_algo", "linear")
+    core = _tree_gather_broadcast if algo == "tree" else _gather_broadcast
+    result = yield from core(
+        cluster, rank, tag, op=op, value=value, combine=combine,
+        root=root, size_bytes=size_bytes, send_opts=send_opts,
+    )
+    return result
+
+
 def barrier(cluster, rank: int, tag: Any, *, root: int = COLLECTIVE_ROOT,
             **send_opts):
     """All live ranks rendezvous; returns when every live rank arrived."""
-    result = yield from _gather_broadcast(
+    result = yield from _collective(
         cluster, rank, tag, op="barrier", value=None,
         combine=lambda contribs: True, root=root,
         size_bytes=0, send_opts=send_opts,
@@ -176,7 +413,7 @@ def allreduce(cluster, rank: int, value: float, tag: Any, *,
             total += contribs[r]
         return total
 
-    result = yield from _gather_broadcast(
+    result = yield from _collective(
         cluster, rank, tag, op="allreduce", value=value, combine=combine,
         root=root, size_bytes=size_bytes, send_opts=send_opts,
     )
@@ -190,7 +427,7 @@ def allgather(cluster, rank: int, value: Any, tag: Any, *,
     def combine(contribs: Dict[int, Any]) -> tuple:
         return tuple((r, contribs[r]) for r in sorted(contribs))
 
-    result = yield from _gather_broadcast(
+    result = yield from _collective(
         cluster, rank, tag, op="allgather", value=value, combine=combine,
         root=root, size_bytes=size_bytes, send_opts=send_opts,
     )

@@ -71,6 +71,10 @@ class IngressPort:
         self.bytes = 0
         self.queue_delay_ps = 0
         self.busy_rejections = 0
+        #: Total serialization occupancy (ps) — how long this NIC's wire
+        #: was busy. The root port's value is the collectives' O(N) vs
+        #: O(log N) hotspot measurement.
+        self.busy_ps = 0
 
     def submit(self, msg: NetMessage) -> Dict[str, Any]:
         if self.queued >= self.fabric.port_capacity:
@@ -81,6 +85,7 @@ class IngressPort:
         ser_ps = self.fabric.serialization_ps(msg.size_bytes)
         start = now if now > self.busy_until_ps else self.busy_until_ps
         self.queue_delay_ps += start - now
+        self.busy_ps += ser_ps
         self.busy_until_ps = start + ser_ps
         self.queued += 1
         self.max_depth = self.queued if self.queued > self.max_depth else self.max_depth
@@ -200,6 +205,19 @@ class NetworkFabric:
             )
             self.engine.schedule(self.latency_ps, self._deliver, notice,
                                  priority=PRIO_HW)
+
+    def port_stats(self, rank: int) -> Dict[str, Any]:
+        """One ingress port's counters (the campaign reports rank 0's —
+        the collective root — to show the O(N) vs O(log N) hotspot)."""
+        port = self.ports[rank]
+        return {
+            "messages": port.messages,
+            "bytes": port.bytes,
+            "busy_ps": port.busy_ps,
+            "queue_delay_ps": port.queue_delay_ps,
+            "busy_rejections": port.busy_rejections,
+            "max_depth": port.max_depth,
+        }
 
     def stats(self) -> Dict[str, Any]:
         """Aggregate counters (all ints — repr-stable for digests)."""

@@ -17,6 +17,7 @@ science. This package provides:
 
 from repro.exec.jobs import SimJob, execute_job, job_kinds
 from repro.exec.runner import ParallelRunner, default_jobs, resolve_jobs
+from repro.exec.warm import WarmPool, get_warm_pool, shutdown_warm_pools, warm_pool_stats
 
 __all__ = [
     "SimJob",
@@ -25,4 +26,8 @@ __all__ = [
     "ParallelRunner",
     "default_jobs",
     "resolve_jobs",
+    "WarmPool",
+    "get_warm_pool",
+    "shutdown_warm_pools",
+    "warm_pool_stats",
 ]

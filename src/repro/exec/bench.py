@@ -24,7 +24,7 @@ import json
 import os
 import platform
 import time
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.exec.runner import default_jobs, resolve_jobs
 from repro.sim.engine import Engine
@@ -46,24 +46,41 @@ def _timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
 # ---------------------------------------------------------------------------
 
 
+#: Interleaved measurement rounds for the engine microbenchmarks; the
+#: best round is reported. One-shot timings on a shared box swing by
+#: 30%+ — the minimum is the only statistic that converges on the true
+#: cost (noise only ever adds time).
+_BENCH_ROUNDS = 3
+
+
 def bench_engine_events(n_events: int, *, event_pool: bool) -> Dict[str, Any]:
-    """Self-rescheduling churn: ``n_events`` schedule+fire round trips."""
-    eng = Engine(event_pool=event_pool)
-    remaining = [n_events]
+    """Self-rescheduling churn: ``n_events`` schedule+fire round trips,
+    best of :data:`_BENCH_ROUNDS` rounds."""
 
-    def tick():
-        if remaining[0] > 0:
-            remaining[0] -= 1
-            eng.schedule(_TICK_PS, tick)
+    def one_round() -> Tuple[Engine, float]:
+        eng = Engine(event_pool=event_pool)
+        remaining = [n_events]
 
-    for lane in range(8):
-        eng.schedule(_TICK_PS + lane, tick)
+        def tick():
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                eng.schedule(_TICK_PS, tick)
 
-    _, seconds = _timed(eng.run)
+        for lane in range(8):
+            eng.schedule(_TICK_PS + lane, tick)
+        _, secs = _timed(eng.run)
+        return eng, secs
+
+    eng, seconds = one_round()
+    for _ in range(_BENCH_ROUNDS - 1):
+        eng_r, secs_r = one_round()
+        if secs_r < seconds:
+            eng, seconds = eng_r, secs_r
     return {
         "event_pool": event_pool,
         "events_fired": eng.events_fired,
         "seconds": seconds,
+        "rounds": _BENCH_ROUNDS,
         "events_per_sec": eng.events_fired / seconds if seconds else 0.0,
         "pool_reuses": eng.pool_reuses,
     }
@@ -204,6 +221,50 @@ def bench_parallel_speedup(*, quick: bool, jobs: int) -> Dict[str, Any]:
     }
 
 
+def bench_warm_pool(*, jobs: int, dispatches: int = 3) -> Dict[str, Any]:
+    """Warm (fork-once) vs cold (fork-per-call) pool over ``dispatches``
+    identical campaign slices of small cells — the pattern every sweep
+    command issues. Also surfaces the warm pool's per-worker reuse stats
+    (tentpole: how much fork work the warmth saved)."""
+    from repro.exec.jobs import SimJob
+    from repro.exec.runner import ParallelRunner
+    from repro.exec.warm import get_warm_pool, shutdown_warm_pools
+
+    jobs = max(2, jobs)
+    cells = [
+        SimJob.make("irq-latency", routing=routing, seed=seed, duration_s=0.01)
+        for routing in ("forwarded", "direct")
+        for seed in (1, 2)
+    ]
+    workers = min(jobs, len(cells))
+
+    def cold():
+        runner = ParallelRunner(jobs, warm=False)
+        for _ in range(dispatches):
+            runner.run(cells)
+
+    def warm():
+        runner = ParallelRunner(jobs, warm=True)
+        for _ in range(dispatches):
+            runner.run(cells)
+
+    # Cold first so the warm run cannot inherit a pre-forked pool.
+    shutdown_warm_pools()
+    _, sec_cold = _timed(cold)
+    _, sec_warm = _timed(warm)
+    stats = get_warm_pool(workers).stats()
+    shutdown_warm_pools()
+    return {
+        "jobs": jobs,
+        "dispatches": dispatches,
+        "cells_per_dispatch": len(cells),
+        "cold_seconds": sec_cold,
+        "warm_seconds": sec_warm,
+        "speedup": (sec_cold / sec_warm) if sec_warm else 0.0,
+        "pool": stats,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Harness
 # ---------------------------------------------------------------------------
@@ -232,6 +293,7 @@ def run_bench(*, quick: bool = False, jobs: Optional[int] = None) -> Dict[str, A
         "digest": bench_digest(n_records),
         "figures": bench_figures(quick=quick),
         "parallel": bench_parallel_speedup(quick=quick, jobs=jobs),
+        "warm_pool": bench_warm_pool(jobs=jobs, dispatches=2 if quick else 3),
     }
     pooled = results["engine"]["pooled"]["events_per_sec"]
     unpooled = results["engine"]["unpooled"]["events_per_sec"]
@@ -272,7 +334,90 @@ def summarize_bench(results: Dict[str, Any]) -> str:
         f"{par['parallel_seconds']:.2f}s at jobs={par['jobs']} "
         f"(x{par['speedup']:.2f})",
     ]
+    warm = results.get("warm_pool")
+    if warm:
+        pool = warm["pool"]
+        lines.append(
+            f"warm pool: {warm['cold_seconds']:.2f}s cold vs "
+            f"{warm['warm_seconds']:.2f}s warm over {warm['dispatches']} "
+            f"dispatches (x{warm['speedup']:.2f}); "
+            f"{pool['jobs_run']} jobs on {pool['distinct_worker_pids']} "
+            f"workers, reuse ratio {pool['reuse_ratio']:.2f}"
+        )
     for key, val in sorted(results["figures"].items()):
         if key.endswith("_seconds"):
             lines.append(f"figure {key[:-8]}: {val:.2f}s")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison (``repro bench --compare``)
+# ---------------------------------------------------------------------------
+
+#: (dotted metric path, True when higher is better). Wall-clock figure
+#: sections are compared too, but only against --regress-pct — absolute
+#: seconds on a shared box are far noisier than the throughput ratios.
+_COMPARE_METRICS = (
+    ("engine.pooled.events_per_sec", True),
+    ("engine.unpooled.events_per_sec", True),
+    ("periodic.coalesced_fires_per_sec", True),
+    ("digest.speedup", True),
+    ("parallel.speedup", True),
+    ("warm_pool.speedup", True),
+    ("figures.fig4_6_selfish_seconds", False),
+    ("figures.fig7_8_memory_seconds", False),
+    ("figures.faults_smoke_seconds", False),
+)
+
+
+def _lookup(results: Dict[str, Any], path: str) -> Optional[float]:
+    node: Any = results
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def compare_bench(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    *,
+    regress_pct: float = 25.0,
+) -> Tuple[str, List[str]]:
+    """Per-section speedup deltas of ``current`` over ``baseline``.
+
+    Returns ``(report text, regression descriptions)`` — a metric
+    regresses when it is worse than the baseline by more than
+    ``regress_pct`` percent (in whichever direction is worse for it).
+    Metrics missing from either side are reported but never count as
+    regressions, so old baselines stay comparable as sections are added.
+    """
+    lines = [f"bench comparison (regression threshold {regress_pct:g}%):"]
+    regressions: List[str] = []
+    for path, higher_better in _COMPARE_METRICS:
+        cur = _lookup(current, path)
+        base = _lookup(baseline, path)
+        if cur is None or base is None or base == 0:
+            lines.append(f"  {path:<38s} (not in both runs; skipped)")
+            continue
+        ratio = cur / base
+        # Normalize so speedup > 1.0 always means "current is better".
+        speedup = ratio if higher_better else 1.0 / ratio
+        delta_pct = (speedup - 1.0) * 100.0
+        marker = ""
+        if speedup < 1.0 - regress_pct / 100.0:
+            marker = "  << REGRESSION"
+            regressions.append(
+                f"{path}: {cur:,.2f} vs baseline {base:,.2f} "
+                f"({delta_pct:+.1f}%)"
+            )
+        lines.append(
+            f"  {path:<38s} x{speedup:.3f} ({delta_pct:+.1f}%){marker}"
+        )
+    return "\n".join(lines), regressions

@@ -41,10 +41,17 @@ class ParallelRunner:
     ``run`` preserves submission order in the returned mapping regardless
     of completion order, and refuses duplicate job keys — a duplicate
     would make the merge silently drop a result.
+
+    By default dispatch goes through the process-wide
+    :class:`~repro.exec.warm.WarmPool` (fork once per campaign, results
+    via the shared-memory envelope); ``warm=False`` keeps the legacy
+    fork-per-call pool, which ``repro bench`` uses as its comparison
+    baseline.
     """
 
-    def __init__(self, jobs: Optional[int] = None):
+    def __init__(self, jobs: Optional[int] = None, *, warm: bool = True):
         self.jobs = resolve_jobs(jobs)
+        self.warm = warm
 
     def run(self, sim_jobs: Iterable[SimJob]) -> Dict[str, Any]:
         """Run every job; return ``{job.key: result}`` in submission order."""
@@ -57,6 +64,10 @@ class ParallelRunner:
             )
         if self.jobs == 1 or len(jobs_list) <= 1:
             results = [execute_job(job) for job in jobs_list]
+        elif self.warm:
+            from repro.exec.warm import get_warm_pool
+
+            results = get_warm_pool(min(self.jobs, len(jobs_list))).run(jobs_list)
         else:
             workers = min(self.jobs, len(jobs_list))
             with multiprocessing.Pool(processes=workers) as pool:

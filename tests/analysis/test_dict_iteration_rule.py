@@ -1,0 +1,117 @@
+"""The dict-iteration-order simlint rule: iterating a dict keyed by
+object ``id()`` without an explicit sort."""
+
+from repro.analysis.simlint import lint_source
+
+
+def hits(source):
+    return [
+        d for d in lint_source(source) if d.rule == "dict-iteration-order"
+    ]
+
+
+def test_plain_iteration_flagged():
+    src = (
+        "def f(objs):\n"
+        "    by_id = {}\n"
+        "    for o in objs:\n"
+        "        by_id[id(o)] = o\n"
+        "    for k in by_id:\n"
+        "        print(k)\n"
+    )
+    found = hits(src)
+    assert len(found) == 1
+    assert "by_id" in found[0].message
+
+
+def test_view_iteration_flagged():
+    src = (
+        "def f(objs):\n"
+        "    by_id = {}\n"
+        "    for o in objs:\n"
+        "        by_id[id(o)] = o\n"
+        "    for k, v in by_id.items():\n"
+        "        print(k, v)\n"
+        "    vals = [v for v in by_id.values()]\n"
+        "    keys = [k for k in by_id.keys()]\n"
+        "    return vals, keys\n"
+    )
+    assert len(hits(src)) == 3
+
+
+def test_self_attribute_flagged():
+    src = (
+        "class Registry:\n"
+        "    def __init__(self):\n"
+        "        self.entries = {}\n"
+        "    def add(self, obj):\n"
+        "        self.entries[id(obj)] = obj\n"
+        "    def dump(self):\n"
+        "        for k in self.entries:\n"
+        "            print(k)\n"
+    )
+    found = hits(src)
+    assert len(found) == 1
+    assert "self.entries" in found[0].message
+
+
+def test_setdefault_counts_as_id_keying():
+    src = (
+        "def f(objs):\n"
+        "    seen = {}\n"
+        "    for o in objs:\n"
+        "        seen.setdefault(id(o), []).append(o)\n"
+        "    return [v for v in seen.values()]\n"
+    )
+    assert len(hits(src)) == 1
+
+
+def test_sorted_iteration_clean():
+    src = (
+        "def f(objs):\n"
+        "    by_id = {}\n"
+        "    for o in objs:\n"
+        "        by_id[id(o)] = o\n"
+        "    for k in sorted(by_id):\n"
+        "        print(k)\n"
+        "    for k, v in sorted(by_id.items()):\n"
+        "        print(k, v)\n"
+    )
+    assert hits(src) == []
+
+
+def test_dict_with_stable_keys_clean():
+    src = (
+        "def f(nodes):\n"
+        "    by_rank = {}\n"
+        "    for n in nodes:\n"
+        "        by_rank[n.rank] = n\n"
+        "    for rank in by_rank:\n"
+        "        print(rank)\n"
+    )
+    assert hits(src) == []
+
+
+def test_membership_and_lookup_clean():
+    src = (
+        "def f(objs, probe):\n"
+        "    by_id = {}\n"
+        "    for o in objs:\n"
+        "        by_id[id(o)] = o\n"
+        "    if id(probe) in by_id:\n"
+        "        return by_id[id(probe)]\n"
+        "    return len(by_id)\n"
+    )
+    assert hits(src) == []
+
+
+def test_inline_suppression():
+    src = (
+        "def f(objs):\n"
+        "    by_id = {}\n"
+        "    for o in objs:\n"
+        "        by_id[id(o)] = o\n"
+        "    for k in by_id:  # simlint: disable=dict-iteration-order\n"
+        "        print(k)\n"
+    )
+    assert hits(src) == []

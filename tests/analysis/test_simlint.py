@@ -30,6 +30,7 @@ def test_registry_has_the_documented_rules():
         "mutable-default-arg",
         "engine-now-write",
         "trace-payload-hygiene",
+        "dict-iteration-order",
     }
     assert all(r.description for r in all_rules())
 

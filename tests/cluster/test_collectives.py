@@ -7,10 +7,11 @@ from repro.kernels.thread import Thread
 SEED = 20260806
 
 
-def _run_collectives(size, seed=SEED, fail_rank=None, fail_at_ps=None):
+def _run_collectives(size, seed=SEED, fail_rank=None, fail_at_ps=None,
+                     algo="tree"):
     """Drive one barrier + allreduce + allgather per rank; returns
     (cluster, results-by-rank)."""
-    cluster = Cluster("native", size, seed=seed)
+    cluster = Cluster("native", size, seed=seed, collective_algo=algo)
     results = {}
 
     def proxy(rank):
@@ -102,6 +103,92 @@ def test_root_failure_aborts_cleanly_without_deadlock():
         assert all(
             r[op]["error"] in ("root-failed", "peer-dead") for op in failed_ops
         )
+
+
+def test_tree_topology_invariants():
+    from repro.cluster.collectives import (
+        tree_children, tree_parent, tree_subtree,
+    )
+
+    for size in (2, 3, 4, 5, 8, 13, 16, 33, 64):
+        seen = set()
+        for v in range(size):
+            kids = tree_children(v, size)
+            assert all(v < c < size for c in kids)
+            for c in kids:
+                assert tree_parent(c) == v
+                assert c not in seen
+                seen.add(c)
+            members = set(tree_subtree(v, size))
+            assert v in members
+            for c in kids:
+                assert set(tree_subtree(c, size)) <= members
+        # Every non-root vrank is exactly one node's child.
+        assert seen == set(range(1, size))
+        assert tree_parent(0) == 0 and list(tree_subtree(0, size)) == list(
+            range(size)
+        )
+
+
+def test_tree_and_linear_agree_on_values():
+    size = 8
+    _, tree = _run_collectives(size, algo="tree")
+    _, linear = _run_collectives(size, algo="linear")
+    assert sorted(tree) == sorted(linear) == list(range(size))
+    for rank in range(size):
+        for op in ("barrier", "allreduce", "allgather"):
+            assert tree[rank][op]["ok"] and linear[rank][op]["ok"]
+        # Float-identical: both combine in the same sorted live-rank order.
+        assert tree[rank]["allreduce"]["value"] == linear[rank]["allreduce"]["value"]
+        assert tree[rank]["allgather"]["value"] == linear[rank]["allgather"]["value"]
+
+
+def test_tree_cuts_root_port_messages():
+    size = 8
+    ctree, _ = _run_collectives(size, algo="tree")
+    clinear, _ = _run_collectives(size, algo="linear")
+    tree_msgs = ctree.fabric.port_stats(0)["messages"]
+    linear_msgs = clinear.fabric.port_stats(0)["messages"]
+    # Linear: every rank hits rank 0 directly (O(N) per collective);
+    # tree: only rank 0's log2(N) direct children do.
+    assert tree_msgs < linear_msgs
+    # Serialized bytes at the root are conserved — the win is fan-in
+    # concentration, not payload accounting.
+    assert ctree.fabric.port_stats(0)["busy_ps"] == clinear.fabric.port_stats(0)["busy_ps"]
+
+
+def test_tree_and_linear_agree_under_interior_death():
+    # Rank 2 of 4 is an interior tree node (child rank 3 must re-home to
+    # the root): the orphan-repair path must converge on exactly the
+    # membership the linear algorithm sees.
+    size = 4
+    kwargs = dict(fail_rank=2, fail_at_ps=1_000_000)
+    _, tree = _run_collectives(size, algo="tree", **kwargs)
+    _, linear = _run_collectives(size, algo="linear", **kwargs)
+    assert sorted(tree) == sorted(linear) == [0, 1, 3]
+    for rank in (0, 1, 3):
+        assert tree[rank]["allreduce"]["ok"]
+        assert tree[rank]["allreduce"]["value"] == linear[rank]["allreduce"]["value"] == 7.0
+        assert tree[rank]["allgather"]["value"] == linear[rank]["allgather"]["value"]
+
+
+def test_collective_algo_flows_through_campaign_cells():
+    from repro.cluster.campaign import run_cluster
+
+    tree = run_cluster(
+        "native", 4, SEED, supersteps=2, step_compute_s=0.0005,
+        collective_algo="tree",
+    )
+    linear = run_cluster(
+        "native", 4, SEED, supersteps=2, step_compute_s=0.0005,
+        collective_algo="linear",
+    )
+    assert tree["collective_algo"] == "tree"
+    assert linear["collective_algo"] == "linear"
+    assert tree["root_port"]["messages"] < linear["root_port"]["messages"]
+    # Same BSP results either way: steps all complete, nobody fails.
+    assert tree["completed_steps"] == linear["completed_steps"] == 2
+    assert tree["failed_ranks"] == linear["failed_ranks"] == []
 
 
 def test_collectives_identical_with_and_without_observer_jobs():

@@ -6,6 +6,7 @@ from repro.exec.bench import (
     bench_digest,
     bench_engine_events,
     bench_periodic,
+    compare_bench,
     default_bench_path,
     run_bench,
     summarize_bench,
@@ -53,6 +54,51 @@ def test_run_bench_quick_structure(tmp_path):
     summary = summarize_bench(results)
     assert "ev/s pooled" in summary
     assert "serial" in summary
+
+    warm = results["warm_pool"]
+    assert warm["cold_seconds"] > 0 and warm["warm_seconds"] > 0
+    assert warm["pool"]["jobs_run"] == (
+        warm["dispatches"] * warm["cells_per_dispatch"]
+    )
+    assert "reuse ratio" in summary
+
+
+def _fake_results(engine_evps, fig_seconds):
+    return {
+        "engine": {"pooled": {"events_per_sec": engine_evps}},
+        "figures": {"fig7_8_memory_seconds": fig_seconds},
+    }
+
+
+def test_compare_bench_flags_regressions_in_both_directions():
+    base = _fake_results(1000.0, 10.0)
+    # Throughput halved AND wall-clock doubled: two regressions.
+    text, regs = compare_bench(
+        _fake_results(500.0, 20.0), base, regress_pct=25.0
+    )
+    assert len(regs) == 2
+    assert "REGRESSION" in text
+    # Throughput up, wall-clock down: improvements, not regressions.
+    _, regs_good = compare_bench(
+        _fake_results(2000.0, 5.0), base, regress_pct=25.0
+    )
+    assert regs_good == []
+    # Within threshold: a 10% dip does not trip a 25% gate.
+    _, regs_ok = compare_bench(
+        _fake_results(900.0, 11.0), base, regress_pct=25.0
+    )
+    assert regs_ok == []
+
+
+def test_compare_bench_skips_missing_metrics():
+    # An old baseline without the warm_pool/parallel sections must not
+    # fail the comparison — new metrics are reported as skipped.
+    text, regs = compare_bench(
+        _fake_results(1000.0, 10.0), _fake_results(1000.0, 10.0),
+        regress_pct=25.0,
+    )
+    assert regs == []
+    assert "skipped" in text
 
 
 def test_default_bench_path_is_dated():

@@ -52,6 +52,54 @@ def test_cancelled_event_recycles_and_counter_stays_exact():
     assert keep.pending is False
 
 
+def test_cancelled_head_recycles_in_run_until():
+    # Regression for the batch-pop refactor: run() and run_until() share
+    # one drain loop, so a cancelled event at the *head* of the queue
+    # must be recycled onto the free list by either path — previously
+    # run_until re-implemented the pop/recycle logic from step().
+    eng = Engine()
+    out = []
+    head = eng.schedule(5, out.append, "cancelled-head")
+    eng.schedule(10, out.append, "kept")
+    head.cancel()
+    eng.run_until(7)  # drains past the tombstone only
+    assert out == []
+    assert head in eng._free  # recycled, not leaked
+    assert eng.now == 7
+    reused = eng.schedule(10, out.append, "recycled")
+    assert reused is head
+    eng.run()
+    assert out == ["kept", "recycled"]
+    assert eng.queue_length == 0
+
+
+def test_cancelled_head_recycles_in_step():
+    eng = Engine()
+    out = []
+    head = eng.schedule(5, out.append, "cancelled-head")
+    eng.schedule(10, out.append, "kept")
+    head.cancel()
+    assert eng.step() is True  # fires "kept", skipping the tombstone
+    assert out == ["kept"]
+    assert head in eng._free
+    assert eng.step() is False
+
+
+def test_cancelled_mid_batch_same_timestamp():
+    # Tombstone *inside* a same-instant batch: the batched drain must
+    # skip it without recycling live state or dropping later events.
+    eng = Engine()
+    out = []
+    eng.schedule(10, out.append, "a")
+    victim = eng.schedule(10, out.append, "victim")
+    eng.schedule(10, out.append, "b")
+    eng.schedule(20, out.append, "later")
+    victim.cancel()
+    eng.run()
+    assert out == ["a", "b", "later"]
+    assert eng.queue_length == 0
+
+
 def test_queue_length_tracks_schedule_cancel_fire():
     eng = Engine()
     events = [eng.schedule(10 * (i + 1), lambda: None) for i in range(5)]
